@@ -1,0 +1,149 @@
+//! Partial control-flow graph construction.
+//!
+//! The paper builds a partial CFG of (empirically) 100 instructions following
+//! each call site; indirect branches are ignored (§5). We do the same.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use lfi_arch::{Insn, INSN_SIZE};
+use lfi_obj::Module;
+
+/// Default number of post-call instructions explored, as in the paper.
+pub const DEFAULT_WINDOW: usize = 100;
+
+/// A partial control-flow graph rooted at one code offset.
+#[derive(Debug, Clone, Default)]
+pub struct PartialCfg {
+    /// Instructions included in the graph, keyed by code offset.
+    pub nodes: BTreeMap<u64, Insn>,
+    /// Successor edges. The first successor of a conditional branch is the
+    /// fall-through edge, the second is the taken edge.
+    pub succs: HashMap<u64, Vec<u64>>,
+    /// The root offset (the instruction after the call).
+    pub entry: u64,
+}
+
+impl PartialCfg {
+    /// Successor offsets of a node.
+    pub fn successors(&self, offset: u64) -> &[u64] {
+        self.succs.get(&offset).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Offsets reachable from `start` (inclusive), following graph edges.
+    pub fn reachable_from(&self, start: u64) -> std::collections::BTreeSet<u64> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut queue = VecDeque::new();
+        if self.nodes.contains_key(&start) {
+            queue.push_back(start);
+        }
+        while let Some(off) = queue.pop_front() {
+            if !seen.insert(off) {
+                continue;
+            }
+            for &succ in self.successors(off) {
+                if !seen.contains(&succ) {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Build the partial CFG of up to `max_insns` instructions starting at
+/// `entry` (normally the instruction right after a call site).
+pub fn build_partial_cfg(module: &Module, entry: u64, max_insns: usize) -> PartialCfg {
+    let mut cfg = PartialCfg {
+        entry,
+        ..PartialCfg::default()
+    };
+    let mut queue = VecDeque::new();
+    queue.push_back(entry);
+    while let Some(offset) = queue.pop_front() {
+        if cfg.nodes.len() >= max_insns || cfg.nodes.contains_key(&offset) {
+            continue;
+        }
+        let Some(insn) = module.insn_at(offset) else {
+            continue;
+        };
+        cfg.nodes.insert(offset, insn);
+        let mut succs = Vec::new();
+        match insn {
+            Insn::Ret | Insn::Halt | Insn::Brk => {}
+            Insn::Jmp { target } => succs.push(target as u64),
+            Insn::J { target, .. } => {
+                succs.push(offset + INSN_SIZE); // fall-through first
+                succs.push(target as u64); // taken edge second
+            }
+            // Calls (direct, through symbols, or indirect) fall through: the
+            // analysis is intra-procedural, exactly like the paper's.
+            _ => succs.push(offset + INSN_SIZE),
+        }
+        for &succ in &succs {
+            if !cfg.nodes.contains_key(&succ) {
+                queue.push_back(succ);
+            }
+        }
+        cfg.succs.insert(offset, succs);
+    }
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use lfi_asm::assemble_text;
+
+    use super::*;
+
+    fn demo_module() -> Module {
+        assemble_text(
+            r#"
+            .module demo lib
+            .func f
+                callsym read        ; offset 0
+                cmpi r0, -1         ; 12
+                je err              ; 24
+                movi r0, 0          ; 36
+                ret                 ; 48
+            err:
+                movi r0, 1          ; 60
+                ret                 ; 72
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn follows_both_edges_of_conditional_branches() {
+        let m = demo_module();
+        let cfg = build_partial_cfg(&m, 12, DEFAULT_WINDOW);
+        assert!(cfg.nodes.contains_key(&12));
+        assert!(cfg.nodes.contains_key(&36), "fall-through edge explored");
+        assert!(cfg.nodes.contains_key(&60), "taken edge explored");
+        assert_eq!(cfg.successors(24), &[36, 60]);
+        assert!(cfg.successors(48).is_empty(), "ret terminates a path");
+    }
+
+    #[test]
+    fn window_limits_the_number_of_nodes() {
+        let m = demo_module();
+        let cfg = build_partial_cfg(&m, 12, 2);
+        assert_eq!(cfg.nodes.len(), 2);
+    }
+
+    #[test]
+    fn reachability_queries_work() {
+        let m = demo_module();
+        let cfg = build_partial_cfg(&m, 12, DEFAULT_WINDOW);
+        let from_err = cfg.reachable_from(60);
+        assert!(from_err.contains(&72));
+        assert!(!from_err.contains(&36));
+    }
+
+    #[test]
+    fn entry_past_the_end_produces_an_empty_graph() {
+        let m = demo_module();
+        let cfg = build_partial_cfg(&m, 10_000, DEFAULT_WINDOW);
+        assert!(cfg.nodes.is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Dataflow analysis of return-value checks.
+//!
+//! Starting from "the return register holds the call's return value", the
+//! analysis follows copies of that value through registers and frame slots
+//! (spills at fixed `fp`-relative offsets), and records every comparison of a
+//! copy against an integer literal together with the branch condition that
+//! consumes it. Equality-style conditions populate `Chk_eq`, inequality-style
+//! conditions populate `Chk_ineq`, as in Algorithm 1.
+
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+use lfi_arch::{Insn, Reg, Word};
+
+use crate::cfg::PartialCfg;
+
+/// A location that may hold a copy of the tracked return value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrackedLoc {
+    /// A register.
+    Reg(Reg),
+    /// A stack slot at a fixed frame-pointer displacement.
+    Slot(Word),
+}
+
+/// The checks discovered downstream of one call site.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Literals the return value was compared against with `==` / `!=`.
+    pub chk_eq: BTreeSet<Word>,
+    /// Literals the return value was compared against with `<`, `<=`, `>`, `>=`.
+    pub chk_ineq: BTreeSet<Word>,
+}
+
+impl CheckSummary {
+    /// Whether no check of any kind was found.
+    pub fn is_empty(&self) -> bool {
+        self.chk_eq.is_empty() && self.chk_ineq.is_empty()
+    }
+}
+
+type LocSet = BTreeSet<TrackedLoc>;
+
+/// Transfer function: how one instruction transforms the set of locations
+/// holding copies of the tracked value.
+fn transfer(insn: &Insn, set: &LocSet) -> LocSet {
+    let mut out = set.clone();
+    match insn {
+        Insn::MovR { dst, src } => {
+            if set.contains(&TrackedLoc::Reg(*src)) {
+                out.insert(TrackedLoc::Reg(*dst));
+            } else {
+                out.remove(&TrackedLoc::Reg(*dst));
+            }
+        }
+        Insn::Store { base, off, src } if *base == Reg::Fp => {
+            if set.contains(&TrackedLoc::Reg(*src)) {
+                out.insert(TrackedLoc::Slot(*off));
+            } else {
+                out.remove(&TrackedLoc::Slot(*off));
+            }
+        }
+        Insn::Load { dst, base, off } if *base == Reg::Fp => {
+            if set.contains(&TrackedLoc::Slot(*off)) {
+                out.insert(TrackedLoc::Reg(*dst));
+            } else {
+                out.remove(&TrackedLoc::Reg(*dst));
+            }
+        }
+        // A further call or syscall produces a new value in the return
+        // register and may clobber the caller-saved registers.
+        Insn::CallSym { .. } | Insn::Call { .. } | Insn::CallR { .. } | Insn::Sys { .. } => {
+            for r in 0..10u8 {
+                out.remove(&TrackedLoc::Reg(Reg::R(r)));
+            }
+        }
+        other => {
+            if let Some(written) = other.written_reg() {
+                out.remove(&TrackedLoc::Reg(written));
+            }
+        }
+    }
+    out
+}
+
+/// Run the check analysis over a partial CFG.
+pub fn analyze_checks(cfg: &PartialCfg) -> CheckSummary {
+    let mut summary = CheckSummary::default();
+    if cfg.nodes.is_empty() {
+        return summary;
+    }
+    // IN sets per node; the entry starts with the return register tracked.
+    let mut in_sets: HashMap<u64, LocSet> = HashMap::new();
+    let mut entry_set = LocSet::new();
+    entry_set.insert(TrackedLoc::Reg(Reg::RET));
+    in_sets.insert(cfg.entry, entry_set);
+
+    let mut worklist: VecDeque<u64> = VecDeque::new();
+    worklist.push_back(cfg.entry);
+    let mut guard = 0usize;
+    let mut visited_pairs: HashSet<(u64, usize)> = HashSet::new();
+
+    while let Some(offset) = worklist.pop_front() {
+        guard += 1;
+        if guard > 20_000 {
+            break; // Defensive bound; partial CFGs are tiny in practice.
+        }
+        let Some(insn) = cfg.nodes.get(&offset) else {
+            continue;
+        };
+        let in_set = in_sets.get(&offset).cloned().unwrap_or_default();
+        // Record comparisons of tracked copies against literals, paired with
+        // the conditional branch that consumes the flags (the next node).
+        if let Insn::CmpI { a, imm } = insn {
+            if in_set.contains(&TrackedLoc::Reg(*a)) {
+                for &succ in cfg.successors(offset) {
+                    if let Some(Insn::J { cond, .. }) = cfg.nodes.get(&succ) {
+                        if cond.is_equality() {
+                            summary.chk_eq.insert(*imm);
+                        } else {
+                            summary.chk_ineq.insert(*imm);
+                        }
+                    }
+                }
+            }
+        }
+        let out_set = transfer(insn, &in_set);
+        let fingerprint = (offset, out_set.len());
+        for &succ in cfg.successors(offset) {
+            let entry = in_sets.entry(succ).or_default();
+            let before = entry.len();
+            entry.extend(out_set.iter().copied());
+            if entry.len() != before || !visited_pairs.contains(&(succ, entry.len())) {
+                visited_pairs.insert((succ, entry.len()));
+                worklist.push_back(succ);
+            }
+        }
+        visited_pairs.insert(fingerprint);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use lfi_asm::assemble_text;
+    use lfi_obj::Module;
+
+    use crate::cfg::{build_partial_cfg, DEFAULT_WINDOW};
+
+    use super::*;
+
+    fn cfg_after_first_call(module: &Module, func: &str) -> PartialCfg {
+        let site = module.call_sites_of(func)[0];
+        build_partial_cfg(module, site + lfi_arch::INSN_SIZE, DEFAULT_WINDOW)
+    }
+
+    #[test]
+    fn direct_check_of_return_register_is_found() {
+        let m = assemble_text(
+            r#"
+            .module demo lib
+            .func f
+                callsym read
+                cmpi r0, -1
+                je err
+                ret
+            err:
+                movi r0, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        let summary = analyze_checks(&cfg_after_first_call(&m, "read"));
+        assert!(summary.chk_eq.contains(&-1));
+        assert!(summary.chk_ineq.is_empty());
+    }
+
+    #[test]
+    fn check_through_a_spilled_copy_is_found() {
+        // The return value is spilled to a frame slot, reloaded into another
+        // register, and only then compared — the copy chain must be followed.
+        let m = assemble_text(
+            r#"
+            .module demo lib
+            .func f
+                callsym malloc
+                st [fp-16], r0
+                movi r0, 7
+                ld r3, [fp-16]
+                cmpi r3, 0
+                je err
+                ret
+            err:
+                movi r0, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        let summary = analyze_checks(&cfg_after_first_call(&m, "malloc"));
+        assert!(summary.chk_eq.contains(&0));
+    }
+
+    #[test]
+    fn inequality_checks_are_classified_separately() {
+        let m = assemble_text(
+            r#"
+            .module demo lib
+            .func f
+                callsym read
+                cmpi r0, 0
+                jlt err
+                ret
+            err:
+                movi r0, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        let summary = analyze_checks(&cfg_after_first_call(&m, "read"));
+        assert!(summary.chk_eq.is_empty());
+        assert!(summary.chk_ineq.contains(&0));
+    }
+
+    #[test]
+    fn unrelated_comparisons_are_not_misattributed() {
+        // r0 is overwritten with an unrelated value before the comparison, so
+        // the comparison must NOT count as a check of the call's return value.
+        let m = assemble_text(
+            r#"
+            .module demo lib
+            .func f
+                callsym read
+                movi r0, 3
+                cmpi r0, -1
+                je err
+                ret
+            err:
+                movi r0, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        let summary = analyze_checks(&cfg_after_first_call(&m, "read"));
+        assert!(summary.is_empty());
+    }
+
+    #[test]
+    fn a_second_call_stops_tracking_the_old_return_value() {
+        let m = assemble_text(
+            r#"
+            .module demo lib
+            .func f
+                callsym read
+                callsym write
+                cmpi r0, -1
+                je err
+                ret
+            err:
+                movi r0, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        // The check applies to write's return value, not read's.
+        let summary = analyze_checks(&cfg_after_first_call(&m, "read"));
+        assert!(summary.is_empty());
+    }
+
+    #[test]
+    fn checks_on_both_branch_arms_are_collected() {
+        let m = assemble_text(
+            r#"
+            .module demo lib
+            .func f
+                callsym read
+                st [fp-8], r0
+                ld r2, [fp-8]
+                cmpi r2, -1
+                je err
+                ld r3, [fp-8]
+                cmpi r3, 0
+                je empty
+                ret
+            empty:
+                movi r0, 2
+                ret
+            err:
+                movi r0, 1
+                ret
+            "#,
+        )
+        .unwrap();
+        let summary = analyze_checks(&cfg_after_first_call(&m, "read"));
+        assert_eq!(
+            summary.chk_eq.iter().copied().collect::<Vec<_>>(),
+            vec![-1, 0]
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Call-site analysis (Algorithm 1 of the paper).
+//!
+//! The analyzer combs a target program's binary for call sites of a library
+//! function, builds a partial control-flow graph of the instructions that
+//! follow each call, runs a dataflow analysis that follows copies of the
+//! call's return value, and classifies each site as fully checked, partially
+//! checked, or completely unchecked with respect to the error codes in the
+//! library's fault profile. Unchecked and partially checked sites become
+//! automatically generated injection scenarios (handled in `lfi-core`).
+//!
+//! The crate also identifies *recovery blocks* — code reachable only through
+//! the error edge of a return-value check — which is what the recovery-code
+//! coverage measurements of Table 3 are computed over.
+
+pub mod callsite;
+pub mod cfg;
+pub mod dataflow;
+pub mod recovery;
+
+pub use callsite::{
+    analyze_call_sites, analyze_program, confusion_matrix, AnalysisConfig, CallSiteClass,
+    CallSiteReport, ConfusionMatrix, SiteFinding,
+};
+pub use cfg::{build_partial_cfg, PartialCfg};
+pub use dataflow::{analyze_checks, CheckSummary, TrackedLoc};
+pub use recovery::{recovery_lines, recovery_offsets, RecoveryMap};

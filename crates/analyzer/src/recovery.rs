@@ -1,0 +1,199 @@
+//! Recovery-code identification.
+//!
+//! Table 3 of the paper measures how much *recovery code* the default test
+//! suites cover with and without LFI. The paper identified recovery blocks by
+//! hand in lcov output; here we identify them automatically from the binary:
+//! a recovery block is code reachable only through the "error" edge of a
+//! return-value check that follows a library call (the edge taken when the
+//! return value equals one of the function's error codes).
+
+use std::collections::BTreeSet;
+
+use lfi_arch::{Insn, Word, INSN_SIZE};
+use lfi_obj::Module;
+use lfi_profiler::FaultProfile;
+
+use crate::cfg::{build_partial_cfg, PartialCfg, DEFAULT_WINDOW};
+use crate::dataflow::analyze_checks;
+
+/// The recovery code discovered in a module.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryMap {
+    /// Instruction offsets belonging to recovery blocks.
+    pub offsets: BTreeSet<u64>,
+    /// Source lines (file, line) belonging to recovery blocks.
+    pub lines: BTreeSet<(String, u32)>,
+}
+
+impl RecoveryMap {
+    /// Number of recovery source lines.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+/// Find the error edge of a check: given a `cmpi tracked, imm` at `cmp_off`
+/// whose consumer is a conditional jump, return the successor offset taken
+/// when the compared value is an error code, and the one taken otherwise.
+fn error_edge(
+    cfg: &PartialCfg,
+    cmp_off: u64,
+    imm: Word,
+    error_codes: &[Word],
+) -> Option<(u64, u64)> {
+    let &jump_off = cfg
+        .successors(cmp_off)
+        .iter()
+        .find(|off| matches!(cfg.nodes.get(off), Some(Insn::J { .. })))?;
+    let Some(Insn::J { cond, target }) = cfg.nodes.get(&jump_off) else {
+        return None;
+    };
+    let fall_through = jump_off + INSN_SIZE;
+    let taken = *target as u64;
+    // Does the branch get taken when the return value is an error code?
+    let taken_on_error = error_codes
+        .iter()
+        .any(|&e| cond.holds(e.cmp(&imm)));
+    let taken_on_success = cond.holds(1.cmp(&imm)) || cond.holds(100.cmp(&imm));
+    if taken_on_error && !taken_on_success {
+        Some((taken, fall_through))
+    } else if !taken_on_error {
+        Some((fall_through, taken))
+    } else {
+        // The branch fires for both error and success values; not a useful
+        // error/success split.
+        None
+    }
+}
+
+/// Identify the recovery code downstream of every call site of the profiled
+/// library functions in `module`.
+pub fn recovery_offsets(module: &Module, profile: &FaultProfile, functions: &[String]) -> RecoveryMap {
+    let mut map = RecoveryMap::default();
+    for function in functions {
+        let Some(func_profile) = profile.function(function) else {
+            continue;
+        };
+        let error_codes = func_profile.error_return_values();
+        if error_codes.is_empty() {
+            continue;
+        }
+        for site in module.call_sites_of(function) {
+            let cfg = build_partial_cfg(module, site + INSN_SIZE, DEFAULT_WINDOW);
+            // Re-run the check discovery, but this time keep the comparison
+            // locations so we can split edges.
+            let summary = analyze_checks(&cfg);
+            if summary.is_empty() {
+                continue;
+            }
+            for (&off, insn) in &cfg.nodes {
+                let Insn::CmpI { imm, .. } = insn else {
+                    continue;
+                };
+                if !summary.chk_eq.contains(imm) && !summary.chk_ineq.contains(imm) {
+                    continue;
+                }
+                let Some((error_succ, ok_succ)) = error_edge(&cfg, off, *imm, &error_codes)
+                else {
+                    continue;
+                };
+                let error_reachable = cfg.reachable_from(error_succ);
+                let ok_reachable = cfg.reachable_from(ok_succ);
+                for recovery_off in error_reachable.difference(&ok_reachable) {
+                    map.offsets.insert(*recovery_off);
+                    if let Some((file, line)) = module.line_for_offset(*recovery_off) {
+                        map.lines.insert((file.to_string(), line));
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Convenience: recovery lines only.
+pub fn recovery_lines(
+    module: &Module,
+    profile: &FaultProfile,
+    functions: &[String],
+) -> BTreeSet<(String, u32)> {
+    recovery_offsets(module, profile, functions).lines
+}
+
+
+#[cfg(test)]
+mod tests {
+    use lfi_cc::Compiler;
+    use lfi_obj::ModuleKind;
+
+    use super::*;
+
+    fn compile(src: &str) -> Module {
+        Compiler::new("target", ModuleKind::SharedLib)
+            .add_source("target.c", src)
+            .compile()
+            .unwrap()
+    }
+
+    fn libc_profile() -> FaultProfile {
+        lfi_profiler::profile_library(&lfi_libc::build())
+    }
+
+    #[test]
+    fn recovery_block_lines_are_identified() {
+        let src = r#"
+            int handle() {
+                int fd = open("/etc/conf", O_RDONLY, 0);
+                if (fd == -1) {
+                    print("recovery: could not open config\n");
+                    errno = 0;
+                    return -1;
+                }
+                close(fd);
+                return 0;
+            }
+        "#;
+        let module = compile(src);
+        let map = recovery_offsets(&module, &libc_profile(), &["open".to_string()]);
+        assert!(!map.offsets.is_empty(), "recovery block must be found");
+        let lines: Vec<u32> = map.lines.iter().map(|(_, l)| *l).collect();
+        // The recovery body spans lines 5-7 of the source above.
+        assert!(lines.iter().any(|l| (5..=7).contains(l)), "lines: {lines:?}");
+        // The success path (close on line 9) must not be classified as recovery.
+        assert!(!lines.contains(&9), "lines: {lines:?}");
+    }
+
+    #[test]
+    fn unchecked_calls_contribute_no_recovery_code() {
+        let src = r#"
+            int handle() {
+                int fd = open("/etc/conf", O_RDONLY, 0);
+                close(fd);
+                return 0;
+            }
+        "#;
+        let module = compile(src);
+        let map = recovery_offsets(&module, &libc_profile(), &["open".to_string()]);
+        assert!(map.offsets.is_empty());
+        assert_eq!(map.line_count(), 0);
+    }
+
+    #[test]
+    fn inequality_guards_identify_the_error_side() {
+        let src = r#"
+            int pump() {
+                int n = read(3, 1000, 64);
+                if (n < 0) {
+                    print("read failed\n");
+                    return -1;
+                }
+                return n;
+            }
+        "#;
+        let module = compile(src);
+        let map = recovery_offsets(&module, &libc_profile(), &["read".to_string()]);
+        assert!(!map.offsets.is_empty());
+        let lines: Vec<u32> = map.lines.iter().map(|(_, l)| *l).collect();
+        assert!(lines.iter().any(|l| (5..=6).contains(l)), "lines: {lines:?}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Simulated instruction-set architecture for the LFI reproduction.
+//!
+//! The LFI paper operates on x86 Linux binaries. This crate defines the
+//! architecture our substrate uses instead: a small, fixed-width register
+//! machine that keeps every property the LFI analyses rely on —
+//! a dedicated return-value register, compare-and-branch sequences,
+//! call/return with a stack, direct calls to imported symbols (relocations),
+//! and thread-local storage accesses used for `errno`.
+//!
+//! The crate is intentionally dependency-light: it only defines data types,
+//! the binary encoding of instructions, and the ABI constants (error numbers
+//! and syscall numbers) shared by the compiler, the VM, the simulated libc,
+//! the profiler and the call-site analyzer.
+
+pub mod abi;
+pub mod insn;
+pub mod reg;
+
+pub use abi::{errno, fcntlcmd, filekind, openflags, sys, CallConv};
+pub use insn::{decode_all, AluOp, Cond, DecodeError, Insn, INSN_SIZE};
+pub use reg::Reg;
+
+/// Machine word type. All registers and memory words are 64-bit signed.
+pub type Word = i64;
+
+/// Unsigned virtual address.
+pub type Addr = u64;

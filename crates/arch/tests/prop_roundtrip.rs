@@ -1,0 +1,105 @@
+//! Property-based tests: every well-formed instruction survives an
+//! encode/decode roundtrip, and the decoder never panics on arbitrary bytes.
+
+use lfi_arch::{decode_all, AluOp, Cond, Insn, Reg, INSN_SIZE};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..18).prop_map(|b| Reg::decode(b).unwrap())
+}
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    (0usize..AluOp::ALL.len()).prop_map(|i| AluOp::ALL[i])
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    (0usize..Cond::ALL.len()).prop_map(|i| Cond::ALL[i])
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        Just(Insn::Halt),
+        Just(Insn::Brk),
+        Just(Insn::Ret),
+        (arb_reg(), any::<i64>()).prop_map(|(dst, imm)| Insn::MovI { dst, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::MovR { dst, src }),
+        (arb_reg(), arb_reg(), any::<i64>()).prop_map(|(dst, base, off)| Insn::Load {
+            dst,
+            base,
+            off
+        }),
+        (arb_reg(), arb_reg(), any::<i64>()).prop_map(|(base, src, off)| Insn::Store {
+            base,
+            off,
+            src
+        }),
+        (arb_reg(), arb_reg(), any::<i64>()).prop_map(|(dst, base, off)| Insn::Load8 {
+            dst,
+            base,
+            off
+        }),
+        (arb_reg(), arb_reg(), any::<i64>()).prop_map(|(base, src, off)| Insn::Store8 {
+            base,
+            off,
+            src
+        }),
+        (arb_reg(), arb_reg(), any::<i64>()).prop_map(|(dst, base, off)| Insn::Lea {
+            dst,
+            base,
+            off
+        }),
+        (arb_reg(), any::<u32>()).prop_map(|(dst, sym)| Insn::LeaSym { dst, sym }),
+        arb_reg().prop_map(|src| Insn::Push { src }),
+        arb_reg().prop_map(|dst| Insn::Pop { dst }),
+        (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
+        (arb_alu(), arb_reg(), any::<i64>()).prop_map(|(op, dst, imm)| Insn::AluI {
+            op,
+            dst,
+            imm
+        }),
+        arb_reg().prop_map(|dst| Insn::Neg { dst }),
+        arb_reg().prop_map(|dst| Insn::Not { dst }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Cmp { a, b }),
+        (arb_reg(), any::<i64>()).prop_map(|(a, imm)| Insn::CmpI { a, imm }),
+        any::<i64>().prop_map(|target| Insn::Jmp { target }),
+        (arb_cond(), any::<i64>()).prop_map(|(cond, target)| Insn::J { cond, target }),
+        any::<i64>().prop_map(|target| Insn::Call { target }),
+        any::<u32>().prop_map(|sym| Insn::CallSym { sym }),
+        arb_reg().prop_map(|reg| Insn::CallR { reg }),
+        (arb_reg(), any::<u32>()).prop_map(|(dst, sym)| Insn::TlsLoad { dst, sym }),
+        (arb_reg(), any::<u32>()).prop_map(|(src, sym)| Insn::TlsStore { sym, src }),
+        any::<i64>().prop_map(|num| Insn::Sys { num }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(insn in arb_insn()) {
+        let bytes = insn.encode();
+        let back = Insn::decode(&bytes).expect("well-formed instruction must decode");
+        prop_assert_eq!(back, insn);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // The decoder must reject or accept, never panic, on arbitrary input.
+        let _ = Insn::decode(&bytes);
+        let _ = decode_all(&bytes);
+    }
+
+    #[test]
+    fn decode_all_consumes_whole_streams(insns in proptest::collection::vec(arb_insn(), 1..50)) {
+        let mut code = Vec::new();
+        for insn in &insns {
+            code.extend_from_slice(&insn.encode());
+        }
+        let (decoded, err) = decode_all(&code);
+        prop_assert!(err.is_none());
+        prop_assert_eq!(decoded.len(), insns.len());
+        for (i, (off, insn)) in decoded.iter().enumerate() {
+            prop_assert_eq!(*off, i as u64 * INSN_SIZE);
+            prop_assert_eq!(*insn, insns[i]);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Assembler for the LFI simulated ISA.
+//!
+//! Two front ends produce [`lfi_obj::Module`] binaries:
+//!
+//! * [`AsmBuilder`] — a programmatic builder with labels, forward references,
+//!   symbol deduplication, data/BSS allocation and line-table emission. The
+//!   mini-C compiler (`lfi-cc`) drives this API.
+//! * [`assemble_text`] — a textual assembler for hand-written modules, used
+//!   heavily by the test suites of the profiler and the call-site analyzer to
+//!   construct precise binary patterns.
+
+pub mod builder;
+pub mod text;
+
+pub use builder::{AsmBuilder, AsmError};
+pub use text::{assemble_text, TextAsmError};

@@ -1,0 +1,26 @@
+//! Criterion benchmark behind §7.2: running time of the call-site analyzer
+//! and of the library profiler on the target binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfi_targets::{all_targets, standard_controller};
+
+fn bench_analyzer(c: &mut Criterion) {
+    let controller = standard_controller();
+    let mut group = c.benchmark_group("callsite_analyzer");
+    for (name, module) in all_targets() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &module, |b, m| {
+            b.iter(|| controller.analyze(m));
+        });
+    }
+    group.finish();
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let libc = lfi_libc::build();
+    c.bench_function("profile_libc", |b| {
+        b.iter(|| lfi_profiler::profile_library(&libc));
+    });
+}
+
+criterion_group!(benches, bench_analyzer, bench_profiler);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benchmark of the injection runtime itself: how long a full
+//! fault-injection test of git-lite takes (scenario compilation, loading with
+//! interposition, workload execution, crash detection).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lfi_core::TestConfig;
+use lfi_targets::{git_lite, standard_controller, FsSetupWorkload};
+
+fn bench_end_to_end_injection(c: &mut Criterion) {
+    let controller = standard_controller();
+    let profile = controller.profile_libraries();
+    let exe = git_lite();
+    // One unchecked malloc site, targeted by the analyzer-style scenario.
+    let reports = controller.analyze(&exe);
+    let malloc_report = reports
+        .iter()
+        .find(|r| r.function == "malloc")
+        .expect("git-lite calls malloc");
+    let site = malloc_report.unchecked()[0].offset;
+    let scenario = lfi_bench::support::single_site_scenario("git-lite", "malloc", site, &profile);
+    let config = TestConfig {
+        args: vec!["diff".into(), "3".into(), "4".into()],
+        ..TestConfig::default()
+    };
+    c.bench_function("git_lite_injection_test", |b| {
+        b.iter(|| {
+            controller
+                .run_test(&exe, &scenario, &mut FsSetupWorkload, &config)
+                .expect("run")
+        });
+    });
+
+    c.bench_function("git_lite_baseline_run", |b| {
+        b.iter(|| {
+            controller
+                .run_test(
+                    &exe,
+                    &lfi_core::Scenario::new(),
+                    &mut FsSetupWorkload,
+                    &config,
+                )
+                .expect("run")
+        });
+    });
+}
+
+criterion_group!(benches, bench_end_to_end_injection);
+criterion_main!(benches);

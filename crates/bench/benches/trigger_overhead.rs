@@ -1,0 +1,41 @@
+//! Criterion benchmark behind Tables 5 and 6: wall-clock cost of running the
+//! httpd-lite workload with increasing numbers of triggers evaluated on every
+//! intercepted call (no injection), versus the uninstrumented baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfi_core::{Scenario, TestConfig};
+use lfi_targets::{httpd_lite, standard_controller, FsSetupWorkload};
+
+fn httpd_run(scenario: &Scenario, requests: u64) {
+    let controller = standard_controller();
+    let config = TestConfig {
+        args: vec![requests.to_string(), "1".to_string()],
+        observe_only: true,
+        ..TestConfig::default()
+    };
+    let report = controller
+        .run_test(&httpd_lite(), scenario, &mut FsSetupWorkload, &config)
+        .expect("httpd run");
+    assert!(matches!(report.outcome, lfi_core::TestOutcome::Passed));
+}
+
+fn scenario_with_triggers(count: usize) -> Scenario {
+    // Reuse the Table 5 trigger stack through the experiments module.
+    let sweep = lfi_bench::experiments::httpd_trigger_scenario(count);
+    sweep
+}
+
+fn bench_trigger_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger_overhead_httpd");
+    group.sample_size(10);
+    for count in [0usize, 1, 3, 5] {
+        let scenario = scenario_with_triggers(count);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &scenario, |b, s| {
+            b.iter(|| httpd_run(s, 40));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trigger_overhead);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Random-injection sweep (§7.1).
+
+fn main() {
+    let runs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    println!("{}", lfi_bench::random_injection_sweep(runs));
+}

@@ -1,0 +1,17 @@
+//! Regenerate every table and figure of the evaluation in one run.
+
+use lfi_bench::*;
+
+fn main() {
+    println!("== LFI reproduction: full experiment run ==\n");
+    println!("{}\n", table4_accuracy());
+    println!("{}\n", analyzer_efficiency());
+    println!("{}\n", table1_bugs());
+    println!("{}\n", table2_precision());
+    println!("{}\n", table3_coverage());
+    println!("{}\n", table5_apache_overhead());
+    println!("{}\n", table6_mysql_overhead());
+    println!("{}\n", figure3_pbft_slowdown());
+    println!("{}\n", dos_study());
+    println!("{}\n", random_injection_sweep(200));
+}

@@ -1,0 +1,5 @@
+//! Regenerate one experiment of the evaluation (see lfi-bench::experiments).
+
+fn main() {
+    println!("{}", lfi_bench::table6_mysql_overhead());
+}

@@ -1,0 +1,146 @@
+//! Shared plumbing for the experiment harnesses.
+
+use std::collections::BTreeMap;
+
+use lfi_core::{
+    Controller, FrameSpec, FunctionAssoc, Scenario, TestConfig, TestReport, TriggerDecl, Workload,
+};
+use lfi_obj::Module;
+use lfi_profiler::FaultProfile;
+use lfi_targets::{standard_controller, BindWorkload, FsSetupWorkload};
+use lfi_vm::NetHandle;
+
+/// The per-target workloads that constitute each system's "default test
+/// suite" in the reproduction (program arguments per run).
+pub fn default_test_suite(target: &str) -> Vec<Vec<String>> {
+    match target {
+        "git-lite" => vec![
+            vec!["init".into()],
+            vec!["add".into(), "/repo/README.md".into()],
+            vec!["add".into(), "/repo/main.c".into()],
+            vec!["commit".into(), "initial".into()],
+            vec!["log".into()],
+            vec!["diff".into(), "3".into(), "4".into()],
+            vec!["check-head".into()],
+        ],
+        "db-lite" => vec![
+            vec!["bootstrap".into()],
+            vec!["oltp".into(), "30".into(), "1".into()],
+            vec!["oltp".into(), "30".into(), "0".into()],
+            vec!["merge-big".into(), "2".into()],
+        ],
+        "bind-lite" => vec![vec!["4".into()]],
+        "httpd-lite" => vec![vec!["50".into(), "1".into()], vec!["50".into(), "2".into()]],
+        other => panic!("no default test suite for {other}"),
+    }
+}
+
+/// Run one workload of a target under a scenario, wiring up the right
+/// workload type (bind-lite needs the networked client workload).
+pub fn run_target(
+    target: &str,
+    exe: &Module,
+    scenario: &Scenario,
+    args: Vec<String>,
+    record_coverage: bool,
+    seed: u64,
+) -> TestReport {
+    let config = TestConfig {
+        args,
+        record_coverage,
+        seed,
+        ..TestConfig::default()
+    };
+    if target == "bind-lite" {
+        let net = NetHandle::default();
+        let controller = lfi_targets::networked_controller(net.clone());
+        let mut workload = BindWorkload::typical(net);
+        let config = TestConfig {
+            args: vec![workload.request_count().to_string()],
+            record_coverage,
+            seed,
+            ..TestConfig::default()
+        };
+        controller
+            .run_test(exe, scenario, &mut workload, &config)
+            .expect("bind-lite run")
+    } else {
+        let controller = standard_controller();
+        controller
+            .run_test(exe, scenario, &mut FsSetupWorkload, &config)
+            .expect("target run")
+    }
+}
+
+/// Run a target with a custom workload object on a pre-built controller.
+pub fn run_with_controller(
+    controller: &Controller,
+    exe: &Module,
+    scenario: &Scenario,
+    workload: &mut dyn Workload,
+    config: &TestConfig,
+) -> TestReport {
+    controller
+        .run_test(exe, scenario, workload, config)
+        .expect("test run")
+}
+
+/// Build a one-site injection scenario: a call-stack trigger pinned to the
+/// given call-site offset of the target binary, injecting the profile's
+/// representative error for `function`.
+pub fn single_site_scenario(
+    program: &str,
+    function: &str,
+    offset: u64,
+    profile: &FaultProfile,
+) -> Scenario {
+    let case = profile
+        .function(function)
+        .and_then(|f| f.representative_case())
+        .unwrap_or(lfi_profiler::ErrorCase {
+            retval: -1,
+            errno: Some(lfi_arch::errno::EIO),
+        });
+    let id = format!("{function}_{offset:x}");
+    Scenario::new()
+        .with_trigger(TriggerDecl {
+            id: id.clone(),
+            class: "CallStackTrigger".into(),
+            params: BTreeMap::new(),
+            frames: vec![FrameSpec {
+                module: Some(program.to_string()),
+                offset: Some(offset),
+                ..FrameSpec::default()
+            }],
+        })
+        .with_function(FunctionAssoc {
+            function: function.to_string(),
+            argc: 3,
+            retval: Some(case.retval),
+            errno: case.errno,
+            triggers: vec![id],
+        })
+}
+
+/// Every (function, call-site offset) pair of the listed functions in a
+/// binary, regardless of whether the site checks its error return. Used to
+/// exercise recovery code behind *checked* call sites (Table 3, and the
+/// recovery-code bugs of Table 1 such as BIND's dst_lib_init).
+pub fn all_sites(exe: &Module, functions: &[String]) -> Vec<(String, u64)> {
+    let mut sites = Vec::new();
+    for function in functions {
+        for offset in exe.call_sites_of(function) {
+            sites.push((function.clone(), offset));
+        }
+    }
+    sites
+}
+
+/// Format a ratio as a percentage string with one decimal.
+pub fn pct(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * num / den)
+    }
+}

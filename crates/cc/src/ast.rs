@@ -1,0 +1,250 @@
+//! Abstract syntax tree for mini-C.
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl BinOp {
+    /// Whether this operator is a comparison producing a boolean.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`): 0 becomes 1, everything else becomes 0.
+    Not,
+    /// Bitwise not (`~`).
+    BitNot,
+    /// Word dereference (`*p`).
+    Deref,
+    /// Address-of (`&x`).
+    Addr,
+}
+
+/// Expressions. Every expression evaluates to a 64-bit word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal; evaluates to the address of a NUL-terminated copy in
+    /// the data section.
+    Str(String),
+    /// Variable or named constant reference.
+    Ident(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Word indexing: `base[index]` reads the word at `base + 8*index`.
+    Index {
+        /// Base address expression.
+        base: Box<Expr>,
+        /// Element index expression.
+        index: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions, in order.
+        args: Vec<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local scalar declaration with optional initializer.
+    Local {
+        /// Variable name.
+        name: String,
+        /// Initializer, if any.
+        init: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Local array declaration (size in words).
+    LocalArray {
+        /// Array name (evaluates to its address).
+        name: String,
+        /// Number of 8-byte words.
+        words: i64,
+        /// Source line.
+        line: u32,
+    },
+    /// Assignment to an lvalue (identifier, `*expr`, or `base[index]`).
+    Assign {
+        /// Target lvalue.
+        target: Expr,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Expression evaluated for its side effects (usually a call).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then_body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// Return with optional value (defaults to 0).
+    Return {
+        /// Returned value.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Break out of the innermost loop.
+    Break {
+        /// Source line.
+        line: u32,
+    },
+    /// Continue the innermost loop.
+    Continue {
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Whether the function was declared `static` (kept for fidelity; both
+    /// static and non-static definitions are called directly within the
+    /// module, and exported either way so backtraces can name them).
+    pub is_static: bool,
+    /// Line of the definition.
+    pub line: u32,
+}
+
+/// Top-level items.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A compile-time constant.
+    Const {
+        /// Constant name.
+        name: String,
+        /// Value.
+        value: i64,
+    },
+    /// A global scalar with optional initializer (defaults to 0).
+    Global {
+        /// Global name (exported as a data symbol).
+        name: String,
+        /// Initial value.
+        init: i64,
+    },
+    /// A global array of zero-initialized words.
+    GlobalArray {
+        /// Array name (exported as a data symbol).
+        name: String,
+        /// Number of 8-byte words.
+        words: i64,
+    },
+    /// A function definition.
+    Func(Function),
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::Ge.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(!BinOp::LogAnd.is_comparison());
+    }
+}

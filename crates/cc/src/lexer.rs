@@ -1,0 +1,269 @@
+//! Tokenizer for mini-C.
+
+use crate::CompileError;
+
+/// Lexer error alias (same shape as every other compile error).
+pub type LexError = CompileError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal, hex, or character constant).
+    Int(i64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// A punctuation or operator token, e.g. `==`, `{`, `+`.
+    Punct(&'static str),
+    /// End of input marker.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+const PUNCTS: &[&str] = &[
+    // Longest first so maximal munch works.
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "{", "}", "[", "]", ";", ",", "=",
+    "+", "-", "*", "/", "%", "<", ">", "!", "&", "|", "^", "~",
+];
+
+fn err(file: &str, line: u32, message: impl Into<String>) -> CompileError {
+    CompileError {
+        file: file.to_string(),
+        line,
+        message: message.into(),
+    }
+}
+
+/// Tokenize a source file.
+pub fn lex(file: &str, text: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes: Vec<char> = text.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '/' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < bytes.len() && bytes[i + 1] == '*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            if i + 1 >= bytes.len() {
+                return Err(err(file, line, "unterminated block comment"));
+            }
+            i += 2;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            tokens.push(Token {
+                kind: TokenKind::Ident(word),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let word: String = bytes[start..i].iter().collect();
+            let value = if let Some(hex) = word.strip_prefix("0x").or(word.strip_prefix("0X")) {
+                i64::from_str_radix(hex, 16)
+                    .map_err(|_| err(file, line, format!("bad hex literal `{word}`")))?
+            } else {
+                word.parse::<i64>()
+                    .map_err(|_| err(file, line, format!("bad integer literal `{word}`")))?
+            };
+            tokens.push(Token {
+                kind: TokenKind::Int(value),
+                line,
+            });
+            continue;
+        }
+        // Character constants.
+        if c == '\'' {
+            i += 1;
+            if i >= bytes.len() {
+                return Err(err(file, line, "unterminated character constant"));
+            }
+            let value = if bytes[i] == '\\' {
+                i += 1;
+                let esc = bytes.get(i).copied().unwrap_or('\0');
+                i += 1;
+                match esc {
+                    'n' => '\n' as i64,
+                    't' => '\t' as i64,
+                    '0' => 0,
+                    '\\' => '\\' as i64,
+                    '\'' => '\'' as i64,
+                    other => return Err(err(file, line, format!("bad escape `\\{other}`"))),
+                }
+            } else {
+                let v = bytes[i] as i64;
+                i += 1;
+                v
+            };
+            if bytes.get(i) != Some(&'\'') {
+                return Err(err(file, line, "unterminated character constant"));
+            }
+            i += 1;
+            tokens.push(Token {
+                kind: TokenKind::Int(value),
+                line,
+            });
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            i += 1;
+            let mut out = String::new();
+            loop {
+                let Some(&ch) = bytes.get(i) else {
+                    return Err(err(file, line, "unterminated string literal"));
+                };
+                i += 1;
+                match ch {
+                    '"' => break,
+                    '\\' => {
+                        let esc = bytes.get(i).copied().unwrap_or('\0');
+                        i += 1;
+                        match esc {
+                            'n' => out.push('\n'),
+                            't' => out.push('\t'),
+                            '0' => out.push('\0'),
+                            '"' => out.push('"'),
+                            '\\' => out.push('\\'),
+                            other => {
+                                return Err(err(file, line, format!("bad escape `\\{other}`")))
+                            }
+                        }
+                    }
+                    '\n' => return Err(err(file, line, "newline inside string literal")),
+                    other => out.push(other),
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Str(out),
+                line,
+            });
+            continue;
+        }
+        // Punctuation / operators.
+        let rest: String = bytes[i..bytes.len().min(i + 2)].iter().collect();
+        if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(**p)) {
+            tokens.push(Token {
+                kind: TokenKind::Punct(p),
+                line,
+            });
+            i += p.len();
+            continue;
+        }
+        return Err(err(file, line, format!("unexpected character `{c}`")));
+    }
+
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex("t.c", src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_numbers_and_puncts() {
+        let toks = kinds("int x = 0x10 + 42;");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct("="),
+                TokenKind::Int(16),
+                TokenKind::Punct("+"),
+                TokenKind::Int(42),
+                TokenKind::Punct(";"),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_and_chars_with_escapes() {
+        let toks = kinds(r#""a\nb" '\n' 'x'"#);
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Int(10),
+                TokenKind::Int(120),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn maximal_munch_for_two_char_operators() {
+        let toks = kinds("a <= b == c && d");
+        assert!(toks.contains(&TokenKind::Punct("<=")));
+        assert!(toks.contains(&TokenKind::Punct("==")));
+        assert!(toks.contains(&TokenKind::Punct("&&")));
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = lex("t.c", "// one\n/* two\nthree */ x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].line, 3);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let e = lex("t.c", "x\n$").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unexpected"));
+        assert!(lex("t.c", "\"abc").is_err());
+        assert!(lex("t.c", "/* no end").is_err());
+    }
+}

@@ -1,0 +1,646 @@
+//! Recursive-descent parser for mini-C.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Expr, Function, Item, Program, Stmt, UnOp};
+use crate::consts::predefined;
+use crate::lexer::{Token, TokenKind};
+use crate::CompileError;
+
+struct Parser {
+    file: String,
+    tokens: Vec<Token>,
+    pos: usize,
+    consts: HashMap<String, i64>,
+}
+
+/// Parse a token stream into a [`Program`].
+pub fn parse(file: &str, tokens: Vec<Token>) -> Result<Program, CompileError> {
+    let mut parser = Parser {
+        file: file.to_string(),
+        tokens,
+        pos: 0,
+        consts: HashMap::new(),
+    };
+    parser.program()
+}
+
+impl Parser {
+    fn err(&self, message: impl Into<String>) -> CompileError {
+        CompileError {
+            file: self.file.clone(),
+            line: self.peek().line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn line(&self) -> u32 {
+        self.peek().line
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Punct(q) if *q == p)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(w) if w == word)
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if self.at_ident(word) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), CompileError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.advance().kind {
+            TokenKind::Ident(name) => Ok(name),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), CompileError> {
+        if self.eat_ident(word) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{word}`, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut items = Vec::new();
+        while !matches!(self.peek().kind, TokenKind::Eof) {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Item, CompileError> {
+        if self.eat_ident("const") {
+            let name = self.expect_ident()?;
+            self.expect_punct("=")?;
+            let expr = self.expr()?;
+            self.expect_punct(";")?;
+            let value = self.const_eval(&expr)?;
+            self.consts.insert(name.clone(), value);
+            return Ok(Item::Const { name, value });
+        }
+        let is_static = self.eat_ident("static");
+        self.expect_keyword("int")?;
+        let line = self.line();
+        let name = self.expect_ident()?;
+        if self.at_punct("(") {
+            // Function definition.
+            self.expect_punct("(")?;
+            let mut params = Vec::new();
+            if !self.at_punct(")") {
+                loop {
+                    self.expect_keyword("int")?;
+                    params.push(self.expect_ident()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+            }
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Item::Func(Function {
+                name,
+                params,
+                body,
+                is_static,
+                line,
+            }));
+        }
+        if self.eat_punct("[") {
+            let size_expr = self.expr()?;
+            let words = self.const_eval(&size_expr)?;
+            self.expect_punct("]")?;
+            self.expect_punct(";")?;
+            if words <= 0 {
+                return Err(self.err(format!("array `{name}` must have a positive size")));
+            }
+            return Ok(Item::GlobalArray { name, words });
+        }
+        let init = if self.eat_punct("=") {
+            let expr = self.expr()?;
+            self.const_eval(&expr)?
+        } else {
+            0
+        };
+        self.expect_punct(";")?;
+        Ok(Item::Global { name, init })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.at_punct("}") {
+            if matches!(self.peek().kind, TokenKind::Eof) {
+                return Err(self.err("unexpected end of file inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect_punct("}")?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        if self.eat_ident("int") {
+            let name = self.expect_ident()?;
+            if self.eat_punct("[") {
+                let size_expr = self.expr()?;
+                let words = self.const_eval(&size_expr)?;
+                self.expect_punct("]")?;
+                self.expect_punct(";")?;
+                if words <= 0 {
+                    return Err(self.err(format!("array `{name}` must have a positive size")));
+                }
+                return Ok(Stmt::LocalArray { name, words, line });
+            }
+            let init = if self.eat_punct("=") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Local { name, init, line });
+        }
+        if self.at_ident("if") {
+            return self.if_stmt();
+        }
+        if self.eat_ident("while") {
+            self.expect_punct("(")?;
+            let cond = self.expr()?;
+            self.expect_punct(")")?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body, line });
+        }
+        if self.eat_ident("return") {
+            let value = if self.at_punct(";") {
+                None
+            } else {
+                Some(self.expr()?)
+            };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return { value, line });
+        }
+        if self.eat_ident("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break { line });
+        }
+        if self.eat_ident("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue { line });
+        }
+        // Assignment or expression statement.
+        let expr = self.expr()?;
+        if self.eat_punct("=") {
+            let value = self.expr()?;
+            self.expect_punct(";")?;
+            if !matches!(expr, Expr::Ident(_) | Expr::Index { .. })
+                && !matches!(
+                    expr,
+                    Expr::Unary {
+                        op: UnOp::Deref,
+                        ..
+                    }
+                )
+            {
+                return Err(self.err("left-hand side of `=` is not assignable"));
+            }
+            return Ok(Stmt::Assign {
+                target: expr,
+                value,
+                line,
+            });
+        }
+        self.expect_punct(";")?;
+        Ok(Stmt::Expr { expr, line })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let line = self.line();
+        self.expect_keyword("if")?;
+        self.expect_punct("(")?;
+        let cond = self.expr()?;
+        self.expect_punct(")")?;
+        let then_body = self.block()?;
+        let else_body = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            line,
+        })
+    }
+
+    // Expression parsing: precedence climbing, one method per level.
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.logical_or()
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        ops: &[(&str, BinOp)],
+        mut next: F,
+    ) -> Result<Expr, CompileError>
+    where
+        F: FnMut(&mut Self) -> Result<Expr, CompileError>,
+    {
+        let mut lhs = next(self)?;
+        loop {
+            let mut matched = None;
+            for (punct, op) in ops {
+                if self.at_punct(punct) {
+                    matched = Some(*op);
+                    self.advance();
+                    break;
+                }
+            }
+            let Some(op) = matched else {
+                return Ok(lhs);
+            };
+            let rhs = next(self)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("||", BinOp::LogOr)], |p| p.logical_and())
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("&&", BinOp::LogAnd)], |p| p.bit_or())
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("|", BinOp::Or)], |p| p.bit_xor())
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("^", BinOp::Xor)], |p| p.bit_and())
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("&", BinOp::And)], |p| p.equality())
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("==", BinOp::Eq), ("!=", BinOp::Ne)], |p| p.relational())
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            |p| p.shift(),
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], |p| p.additive())
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], |p| p.term())
+    }
+
+    fn term(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+            |p| p.unary(),
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let op = if self.eat_punct("-") {
+            Some(UnOp::Neg)
+        } else if self.eat_punct("!") {
+            Some(UnOp::Not)
+        } else if self.eat_punct("~") {
+            Some(UnOp::BitNot)
+        } else if self.eat_punct("*") {
+            Some(UnOp::Deref)
+        } else if self.eat_punct("&") {
+            Some(UnOp::Addr)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.primary()?;
+        while self.eat_punct("[") {
+            let index = self.expr()?;
+            self.expect_punct("]")?;
+            expr = Expr::Index {
+                base: Box::new(expr),
+                index: Box::new(index),
+            };
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        match self.advance().kind {
+            TokenKind::Int(value) => Ok(Expr::Int(value)),
+            TokenKind::Str(text) => Ok(Expr::Str(text)),
+            TokenKind::Ident(name) => {
+                if self.at_punct("(") {
+                    self.expect_punct("(")?;
+                    let mut args = Vec::new();
+                    if !self.at_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect_punct(")")?;
+                    Ok(Expr::Call { name, args })
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            TokenKind::Punct("(") => {
+                let expr = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(expr)
+            }
+            other => Err(self.err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    /// Evaluate a constant expression (used for const items, global
+    /// initializers and array sizes).
+    fn const_eval(&self, expr: &Expr) -> Result<i64, CompileError> {
+        match expr {
+            Expr::Int(v) => Ok(*v),
+            Expr::Ident(name) => self
+                .consts
+                .get(name)
+                .copied()
+                .or_else(|| predefined(name))
+                .ok_or_else(|| self.err(format!("`{name}` is not a constant"))),
+            Expr::Unary { op, expr } => {
+                let v = self.const_eval(expr)?;
+                match op {
+                    UnOp::Neg => Ok(-v),
+                    UnOp::BitNot => Ok(!v),
+                    UnOp::Not => Ok((v == 0) as i64),
+                    _ => Err(self.err("operator not allowed in constant expression")),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let a = self.const_eval(lhs)?;
+                let b = self.const_eval(rhs)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div if b != 0 => a / b,
+                    BinOp::Mod if b != 0 => a % b,
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => a.wrapping_shr(b as u32),
+                    _ => {
+                        return Err(
+                            self.err("operator not allowed in constant expression")
+                        )
+                    }
+                })
+            }
+            _ => Err(self.err("expression is not constant")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Program, CompileError> {
+        parse("t.c", lex("t.c", src)?)
+    }
+
+    #[test]
+    fn parses_globals_consts_and_arrays() {
+        let p = parse_src(
+            "const MAX = 4 * 8;\nint counter = 2;\nint table[MAX];\nint bare;\n",
+        )
+        .unwrap();
+        assert_eq!(
+            p.items[0],
+            Item::Const {
+                name: "MAX".into(),
+                value: 32
+            }
+        );
+        assert_eq!(
+            p.items[1],
+            Item::Global {
+                name: "counter".into(),
+                init: 2
+            }
+        );
+        assert_eq!(
+            p.items[2],
+            Item::GlobalArray {
+                name: "table".into(),
+                words: 32
+            }
+        );
+        assert_eq!(
+            p.items[3],
+            Item::Global {
+                name: "bare".into(),
+                init: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parses_function_with_control_flow() {
+        let p = parse_src(
+            r#"
+            int f(int a, int b) {
+                int x = a + b * 2;
+                if (x >= 10) { return x; } else { x = x + 1; }
+                while (x < 10) { x = x + 1; if (x == 7) { break; } }
+                return x;
+            }
+            "#,
+        )
+        .unwrap();
+        let Item::Func(f) = &p.items[0] else {
+            panic!("expected a function");
+        };
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(f.body.len(), 4);
+        assert!(matches!(f.body[1], Stmt::If { .. }));
+        assert!(matches!(f.body[2], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn precedence_binds_multiplication_tighter_than_comparison() {
+        let p = parse_src("int f() { return 1 + 2 * 3 == 7; }").unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let Stmt::Return { value: Some(e), .. } = &f.body[0] else {
+            panic!()
+        };
+        // Top node must be the comparison.
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinOp::Eq,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_calls_indexing_deref_and_addr() {
+        let p = parse_src(
+            r#"
+            int f(int p) {
+                int buf[4];
+                buf[0] = read(3, buf, 32);
+                *p = buf[1] + peek(&buf);
+                errno = 0;
+                return buf[0];
+            }
+            "#,
+        )
+        .unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(matches!(f.body[0], Stmt::LocalArray { words: 4, .. }));
+        assert!(matches!(
+            &f.body[1],
+            Stmt::Assign {
+                target: Expr::Index { .. },
+                value: Expr::Call { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &f.body[2],
+            Stmt::Assign {
+                target: Expr::Unary {
+                    op: UnOp::Deref,
+                    ..
+                },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn else_if_chains_parse() {
+        let p = parse_src(
+            "int f(int x) { if (x == 1) { return 1; } else if (x == 2) { return 2; } else { return 3; } }",
+        )
+        .unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        let Stmt::If { else_body, .. } = &f.body[0] else {
+            panic!()
+        };
+        assert!(matches!(else_body[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_lvalues_and_missing_semicolons() {
+        assert!(parse_src("int f() { 1 + 2 = 3; }").is_err());
+        assert!(parse_src("int f() { return 1 }").is_err());
+        assert!(parse_src("int f() { int x = ; }").is_err());
+    }
+
+    #[test]
+    fn rejects_non_constant_global_initializers() {
+        assert!(parse_src("int g = f();").is_err());
+        assert!(parse_src("int a[0];").is_err());
+        assert!(parse_src("const C = g;").is_err());
+    }
+
+    #[test]
+    fn predefined_constants_work_in_const_contexts() {
+        let p = parse_src("const MODE = O_CREAT | O_TRUNC;\n").unwrap();
+        let Item::Const { value, .. } = p.items[0] else {
+            panic!()
+        };
+        assert_eq!(value, 64 | 512);
+    }
+
+    #[test]
+    fn static_functions_are_marked() {
+        let p = parse_src("static int helper() { return 1; } int main() { return helper(); }")
+            .unwrap();
+        let Item::Func(f) = &p.items[0] else { panic!() };
+        assert!(f.is_static);
+        let Item::Func(m) = &p.items[1] else { panic!() };
+        assert!(!m.is_static);
+    }
+}

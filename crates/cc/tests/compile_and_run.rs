@@ -1,0 +1,297 @@
+//! Execution tests: compile mini-C programs and run them on the VM,
+//! checking observable behaviour (exit codes, output, memory effects).
+
+use lfi_cc::Compiler;
+use lfi_obj::ModuleKind;
+use lfi_vm::{Loader, Machine, NoHooks, ProcessConfig, RunExit};
+
+fn run(src: &str) -> (Machine, RunExit) {
+    run_with(src, |_| {})
+}
+
+fn run_with(src: &str, setup: impl FnOnce(&mut Machine)) -> (Machine, RunExit) {
+    let exe = Compiler::new("app", ModuleKind::Executable)
+        .add_source("app.c", src)
+        .compile()
+        .expect("compile");
+    let loader = Loader::new();
+    let image = loader.load(exe).expect("load");
+    let mut machine = Machine::new(image, ProcessConfig::default());
+    setup(&mut machine);
+    let exit = machine.run_to_completion(&mut NoHooks);
+    (machine, exit)
+}
+
+fn exit_code(src: &str) -> i64 {
+    match run(src).1 {
+        RunExit::Exited(code) => code,
+        other => panic!("expected clean exit, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    assert_eq!(exit_code("int main() { return 2 + 3 * 4; }"), 14);
+    assert_eq!(exit_code("int main() { return (2 + 3) * 4; }"), 20);
+    assert_eq!(exit_code("int main() { return 17 % 5 + 100 / 25; }"), 6);
+    assert_eq!(exit_code("int main() { return 1 << 4 | 3; }"), 19);
+    assert_eq!(exit_code("int main() { return -5 + 8; }"), 3);
+    assert_eq!(exit_code("int main() { return ~0 & 255; }"), 255);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    assert_eq!(exit_code("int main() { return 3 < 5; }"), 1);
+    assert_eq!(exit_code("int main() { return 5 <= 4; }"), 0);
+    assert_eq!(exit_code("int main() { return 7 == 7 && 2 != 3; }"), 1);
+    assert_eq!(exit_code("int main() { return 0 || 0; }"), 0);
+    assert_eq!(exit_code("int main() { return !0 + !7; }"), 1);
+}
+
+#[test]
+fn short_circuit_does_not_evaluate_rhs() {
+    // If the right-hand side ran, it would crash on a null dereference.
+    let src = r#"
+        int main() {
+            int p = 0;
+            if (p != 0 && *p == 5) { return 1; }
+            return 42;
+        }
+    "#;
+    assert_eq!(exit_code(src), 42);
+}
+
+#[test]
+fn locals_params_and_recursion() {
+    let src = r#"
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        int main() { return fact(5); }
+    "#;
+    assert_eq!(exit_code(src), 120);
+}
+
+#[test]
+fn while_loops_break_continue() {
+    let src = r#"
+        int main() {
+            int sum = 0;
+            int i = 0;
+            while (i < 100) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                if (i > 20) { break; }
+                sum = sum + i;
+            }
+            return sum;
+        }
+    "#;
+    // Sum of odd numbers 1..=19 = 100.
+    assert_eq!(exit_code(src), 100);
+}
+
+#[test]
+fn globals_and_global_arrays() {
+    let src = r#"
+        int counter = 10;
+        int table[8];
+        int bump(int n) { counter = counter + n; return counter; }
+        int main() {
+            table[3] = bump(5);
+            table[4] = bump(7);
+            return table[3] + table[4] - counter;
+        }
+    "#;
+    let (machine, exit) = run(src);
+    assert_eq!(exit, RunExit::Exited(15 + 22 - 22));
+    assert_eq!(machine.read_global("counter"), Some(22));
+}
+
+#[test]
+fn local_arrays_pointers_and_address_of() {
+    let src = r#"
+        int main() {
+            int buf[4];
+            int p = &buf[2];
+            *p = 99;
+            buf[0] = 1;
+            int q = buf;
+            return q[0] + buf[2];
+        }
+    "#;
+    assert_eq!(exit_code(src), 100);
+}
+
+#[test]
+fn byte_builtins_roundtrip() {
+    let src = r#"
+        int main() {
+            int buf[2];
+            __store8(buf, 65);
+            __store8(buf + 1, 66);
+            return __load8(buf) + __load8(buf + 1);
+        }
+    "#;
+    assert_eq!(exit_code(src), 131);
+}
+
+#[test]
+fn errno_reads_and_writes_are_thread_local_storage() {
+    let src = r#"
+        int main() {
+            errno = 0;
+            int r = __sys(SYS_OPEN, "/missing", O_RDONLY, 0);
+            if (r < 0) { errno = -r; }
+            return errno;
+        }
+    "#;
+    assert_eq!(exit_code(src), lfi_arch::errno::ENOENT);
+}
+
+#[test]
+fn syscall_builtin_writes_output() {
+    let src = r#"
+        int main() {
+            __sys(SYS_WRITE, STDOUT, "hello from mini-C\n", 18);
+            return 0;
+        }
+    "#;
+    let (machine, exit) = run(src);
+    assert_eq!(exit, RunExit::Exited(0));
+    assert_eq!(machine.output_string(), "hello from mini-C\n");
+}
+
+#[test]
+fn filesystem_via_syscalls() {
+    let src = r#"
+        int main() {
+            int fd = __sys(SYS_OPEN, "/data/config", O_RDONLY, 0);
+            if (fd < 0) { return 1; }
+            int buf[16];
+            int n = __sys(SYS_READ, fd, buf, 100);
+            __sys(SYS_CLOSE, fd);
+            return n;
+        }
+    "#;
+    let (_, exit) = run_with(src, |m| {
+        m.fs_mut().mkdir_all("/data");
+        m.fs_mut().write_file("/data/config", b"key=value").unwrap();
+    });
+    assert_eq!(exit, RunExit::Exited(9));
+}
+
+#[test]
+fn null_dereference_crashes_like_a_real_program() {
+    let src = r#"
+        int main() {
+            int p = 0;
+            return *p;
+        }
+    "#;
+    let (_, exit) = run(src);
+    assert!(matches!(exit, RunExit::Fault(f) if f.to_string().contains("null dereference")));
+}
+
+#[test]
+fn named_constants_are_available() {
+    assert_eq!(
+        exit_code("int main() { return EINVAL; }"),
+        lfi_arch::errno::EINVAL
+    );
+    assert_eq!(
+        exit_code("int main() { return O_CREAT | O_TRUNC; }"),
+        64 | 512
+    );
+    assert_eq!(
+        exit_code("const LIMIT = 16 * 4;\nint main() { return LIMIT; }"),
+        64
+    );
+}
+
+#[test]
+fn function_pointers_via_fnaddr_and_threads() {
+    let src = r#"
+        int done = 0;
+        int result = 0;
+        int worker(int arg) {
+            result = arg * 2;
+            done = 1;
+            __sys(SYS_THREAD_EXIT);
+            return 0;
+        }
+        int main() {
+            __sys(SYS_THREAD_CREATE, __fnaddr(worker), 21);
+            while (done == 0) { __sys(SYS_YIELD); }
+            return result;
+        }
+    "#;
+    assert_eq!(exit_code(src), 42);
+}
+
+#[test]
+fn nested_calls_preserve_arguments() {
+    let src = r#"
+        int add3(int a, int b, int c) { return a + b + c; }
+        int twice(int x) { return x * 2; }
+        int main() {
+            return add3(twice(1), twice(2), add3(1, twice(3), 4));
+        }
+    "#;
+    assert_eq!(exit_code(src), 2 + 4 + 11);
+}
+
+#[test]
+fn else_if_chains_execute_correctly() {
+    let src = r#"
+        int classify(int x) {
+            if (x < 0) { return 1; }
+            else if (x == 0) { return 2; }
+            else if (x < 10) { return 3; }
+            else { return 4; }
+        }
+        int main() {
+            return classify(-5) * 1000 + classify(0) * 100 + classify(5) * 10 + classify(50);
+        }
+    "#;
+    assert_eq!(exit_code(src), 1234);
+}
+
+#[test]
+fn multi_file_modules_share_globals_and_functions() {
+    let exe = Compiler::new("app", ModuleKind::Executable)
+        .add_source("state.c", "int shared = 5;\nint get() { return shared; }\n")
+        .add_source(
+            "main.c",
+            "int main() { shared = shared + 1; return get(); }\n",
+        )
+        .compile()
+        .expect("compile");
+    let image = Loader::new().load(exe).expect("load");
+    let mut machine = Machine::new(image, ProcessConfig::default());
+    assert_eq!(machine.run_to_completion(&mut NoHooks), RunExit::Exited(6));
+}
+
+#[test]
+fn uninitialized_locals_and_arrays_read_zero() {
+    let src = r#"
+        int main() {
+            int x;
+            int buf[8];
+            return x + buf[5];
+        }
+    "#;
+    assert_eq!(exit_code(src), 0);
+}
+
+#[test]
+fn exit_code_is_main_return_value_via_exit_syscall_too() {
+    let src = r#"
+        int main() {
+            __sys(SYS_EXIT, 7);
+            return 1;
+        }
+    "#;
+    assert_eq!(exit_code(src), 7);
+}

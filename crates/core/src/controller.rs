@@ -1,0 +1,353 @@
+//! The LFI controller: test orchestration.
+//!
+//! The controller owns the shared libraries of the system under test, builds
+//! the interposition image for a scenario, runs a developer-provided workload
+//! against it, monitors how the process terminates, and collects the
+//! injection log, output, coverage and statistics into a [`TestReport`] —
+//! the artifact developers use to diagnose and fix the exposed bugs (§2).
+
+use std::fmt;
+
+use lfi_analyzer::{analyze_program, AnalysisConfig, CallSiteReport};
+use lfi_obj::Module;
+use lfi_profiler::{profile_library, FaultProfile};
+use lfi_vm::{
+    Coverage, ExecStats, Fault, HookHandler, LoadError, Loader, Machine, NetHandle, ProcessConfig,
+    RunExit,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::runtime::{InjectionEngine, InjectionLog};
+use crate::scenario::Scenario;
+use crate::triggers::{TriggerBuildError, TriggerRegistry};
+
+/// How a test run ended, from the tester's point of view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TestOutcome {
+    /// The program terminated normally with exit code 0.
+    Passed,
+    /// The program terminated normally with a non-zero exit code — it noticed
+    /// the fault and failed cleanly.
+    CleanFailure(i64),
+    /// The program crashed (segmentation fault, abort, double unlock, ...):
+    /// a recovery bug candidate.
+    Crashed(String),
+    /// The run did not finish within its instruction budget, or every thread
+    /// blocked (a hang candidate).
+    Hung,
+}
+
+impl TestOutcome {
+    /// Whether this outcome indicates a crash.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, TestOutcome::Crashed(_))
+    }
+}
+
+/// A completed test run.
+#[derive(Debug)]
+pub struct TestReport {
+    /// Raw VM exit.
+    pub exit: RunExit,
+    /// Interpreted outcome.
+    pub outcome: TestOutcome,
+    /// The crash details, when the run crashed.
+    pub fault: Option<Fault>,
+    /// Everything the program printed.
+    pub output: String,
+    /// The injection log.
+    pub injections: InjectionLog,
+    /// Virtual time consumed.
+    pub virtual_time: u64,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    /// Line coverage (empty unless requested in the config).
+    pub coverage: Coverage,
+}
+
+impl TestReport {
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:?} after {} injections ({} interceptions, {} ticks)",
+            self.outcome,
+            self.injections.injection_count(),
+            self.injections.interceptions,
+            self.virtual_time
+        )
+    }
+}
+
+/// Test-run configuration.
+#[derive(Debug, Clone)]
+pub struct TestConfig {
+    /// Instruction budget for the run.
+    pub max_instructions: u64,
+    /// Whether to record line coverage.
+    pub record_coverage: bool,
+    /// RNG seed for the process under test.
+    pub seed: u64,
+    /// Node id on the simulated network.
+    pub node_id: i64,
+    /// Environment variables.
+    pub env: Vec<(String, String)>,
+    /// Program arguments.
+    pub args: Vec<String>,
+    /// Heap limit in bytes.
+    pub heap_limit: u64,
+    /// Virtual-time cost charged per trigger evaluation.
+    pub trigger_eval_cost: u64,
+    /// Evaluate triggers but never inject (overhead measurements).
+    pub observe_only: bool,
+}
+
+impl Default for TestConfig {
+    fn default() -> Self {
+        TestConfig {
+            max_instructions: 200_000_000,
+            record_coverage: false,
+            seed: 1,
+            node_id: 0,
+            env: Vec::new(),
+            args: Vec::new(),
+            heap_limit: 64 << 20,
+            trigger_eval_cost: 10,
+            observe_only: false,
+        }
+    }
+}
+
+/// A test workload: prepares the environment (filesystem, network, arguments)
+/// and drives the program. The default `drive` simply runs the program to
+/// completion; interactive workloads (servers) override it to interleave
+/// stimulus with execution.
+pub trait Workload {
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "default"
+    }
+
+    /// Prepare the machine (populate the filesystem, attach a network, ...).
+    fn setup(&mut self, _machine: &mut Machine) {}
+
+    /// Drive the program; return how it exited.
+    fn drive(
+        &mut self,
+        machine: &mut Machine,
+        handler: &mut dyn HookHandler,
+        budget: u64,
+    ) -> RunExit {
+        machine.run(handler, budget)
+    }
+}
+
+/// A workload that does nothing beyond running the program.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunToCompletion;
+
+impl Workload for RunToCompletion {}
+
+/// Controller errors.
+#[derive(Debug)]
+pub enum ControllerError {
+    /// A trigger class in the scenario could not be built.
+    Trigger(TriggerBuildError),
+    /// The program image failed to load.
+    Load(LoadError),
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::Trigger(e) => write!(f, "{e}"),
+            ControllerError::Load(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ControllerError {}
+
+impl From<TriggerBuildError> for ControllerError {
+    fn from(e: TriggerBuildError) -> Self {
+        ControllerError::Trigger(e)
+    }
+}
+
+impl From<LoadError> for ControllerError {
+    fn from(e: LoadError) -> Self {
+        ControllerError::Load(e)
+    }
+}
+
+/// The LFI controller.
+#[derive(Debug, Default)]
+pub struct Controller {
+    libraries: Vec<Module>,
+    registry: TriggerRegistry,
+    net: Option<NetHandle>,
+}
+
+impl Controller {
+    /// Create a controller with the stock trigger registry and no libraries.
+    pub fn new() -> Controller {
+        Controller::default()
+    }
+
+    /// Register a shared library of the system under test.
+    pub fn add_library(&mut self, library: Module) -> &mut Self {
+        self.libraries.push(library);
+        self
+    }
+
+    /// Access the trigger registry (e.g. to register custom trigger classes).
+    pub fn registry_mut(&mut self) -> &mut TriggerRegistry {
+        &mut self.registry
+    }
+
+    /// Attach a shared network that every test process will join.
+    pub fn attach_net(&mut self, net: NetHandle) -> &mut Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Merge the fault profiles of every registered library.
+    pub fn profile_libraries(&self) -> FaultProfile {
+        let mut merged = FaultProfile::default();
+        for library in &self.libraries {
+            let profile = profile_library(library);
+            if merged.library.is_empty() {
+                merged.library = profile.library.clone();
+            }
+            merged.merge(&profile);
+        }
+        merged
+    }
+
+    /// Run the call-site analyzer on a target executable against the
+    /// registered libraries' fault profiles.
+    pub fn analyze(&self, exe: &Module) -> Vec<CallSiteReport> {
+        analyze_program(exe, &self.profile_libraries(), AnalysisConfig::default())
+    }
+
+    /// Generate an injection scenario for all unchecked call sites of the
+    /// executable, exactly like the analyzer-driven workflow of §5/§7.1.
+    pub fn generate_scenario(&self, exe: &Module, include_partial: bool) -> Scenario {
+        let reports = self.analyze(exe);
+        Scenario::from_reports(&reports, &self.profile_libraries(), include_partial)
+    }
+
+    /// Build the machine for a scenario without running it (used by custom
+    /// drivers such as the multi-replica PBFT harness).
+    pub fn prepare(
+        &self,
+        exe: &Module,
+        scenario: &Scenario,
+        config: &TestConfig,
+    ) -> Result<(Machine, InjectionEngine), ControllerError> {
+        let mut engine = InjectionEngine::with_registry(scenario.clone(), self.registry.clone())?;
+        engine.trigger_eval_cost = config.trigger_eval_cost;
+        engine.observe_only = config.observe_only;
+        let mut loader = Loader::new();
+        for library in &self.libraries {
+            loader.add_library(library.clone());
+        }
+        loader.interpose_all(engine.interposed_functions());
+        let image = loader.load(exe.clone())?;
+        let mut machine = Machine::new(
+            image,
+            ProcessConfig {
+                node_id: config.node_id,
+                seed: config.seed,
+                heap_limit: config.heap_limit,
+                env: config.env.clone(),
+                args: config.args.clone(),
+                record_coverage: config.record_coverage,
+                ..ProcessConfig::default()
+            },
+        );
+        if let Some(net) = &self.net {
+            machine.attach_net(net.clone());
+        }
+        Ok((machine, engine))
+    }
+
+    /// Run one test: load the program with the scenario's interpositions,
+    /// run the workload, and collect the report.
+    pub fn run_test(
+        &self,
+        exe: &Module,
+        scenario: &Scenario,
+        workload: &mut dyn Workload,
+        config: &TestConfig,
+    ) -> Result<TestReport, ControllerError> {
+        let (mut machine, mut engine) = self.prepare(exe, scenario, config)?;
+        workload.setup(&mut machine);
+        let exit = workload.drive(&mut machine, &mut engine, config.max_instructions);
+        let (outcome, fault) = match &exit {
+            RunExit::Exited(0) => (TestOutcome::Passed, None),
+            RunExit::Exited(code) => (TestOutcome::CleanFailure(*code), None),
+            RunExit::Fault(fault) => (TestOutcome::Crashed(fault.to_string()), Some(fault.clone())),
+            RunExit::Blocked | RunExit::Budget => (TestOutcome::Hung, None),
+        };
+        Ok(TestReport {
+            exit,
+            outcome,
+            fault,
+            output: machine.output_string(),
+            injections: engine.log,
+            virtual_time: machine.clock(),
+            stats: machine.stats,
+            coverage: machine.coverage,
+        })
+    }
+
+    /// Run the same scenario repeatedly (different seeds) and report how many
+    /// runs crashed — the repetition loop behind Table 2's precision numbers.
+    pub fn run_repeated(
+        &self,
+        exe: &Module,
+        scenario: &Scenario,
+        make_workload: &mut dyn FnMut() -> Box<dyn Workload>,
+        config: &TestConfig,
+        runs: u64,
+    ) -> Result<Vec<TestReport>, ControllerError> {
+        let mut reports = Vec::with_capacity(runs as usize);
+        for i in 0..runs {
+            let mut run_config = config.clone();
+            run_config.seed = config.seed.wrapping_add(i);
+            let mut workload = make_workload();
+            reports.push(self.run_test(exe, scenario, workload.as_mut(), &run_config)?);
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_classification_helpers() {
+        assert!(TestOutcome::Crashed("segfault".into()).is_crash());
+        assert!(!TestOutcome::Passed.is_crash());
+        assert!(!TestOutcome::CleanFailure(2).is_crash());
+    }
+
+    #[test]
+    fn empty_scenario_runs_report_trigger_errors_eagerly() {
+        // A scenario referencing an unknown trigger class fails in `prepare`,
+        // before anything runs.
+        let controller = Controller::new();
+        let scenario = Scenario::parse_xml(
+            r#"<trigger id="t" class="DoesNotExist" />
+               <function name="read" return="-1" errno="EIO"><reftrigger ref="t" /></function>"#,
+        )
+        .unwrap();
+        let exe = Module::new("app", lfi_obj::ModuleKind::Executable);
+        let err = controller
+            .prepare(&exe, &scenario, &TestConfig::default())
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, ControllerError::Trigger(_)));
+    }
+}

@@ -1,0 +1,337 @@
+//! The injection runtime: the shim-library logic that sits between the
+//! application and its shared libraries.
+//!
+//! The [`InjectionEngine`] compiles a [`Scenario`] into per-function trigger
+//! lists (looked up in O(1) per interception, §4.3), evaluates trigger
+//! conjunctions with short-circuiting and lazy instantiation, applies the
+//! injected return value and errno side effect, and records every injection
+//! in a structured log (the paper's test log used to match injections to
+//! observed failures and to replay them).
+
+use std::collections::HashMap;
+
+use lfi_arch::Word;
+use lfi_vm::{CallContext, HookAction, HookHandler};
+use serde::{Deserialize, Serialize};
+
+use crate::scenario::Scenario;
+use crate::triggers::{Trigger, TriggerCtx, TriggerRegistry};
+
+/// One recorded injection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionRecord {
+    /// Function whose call was failed.
+    pub function: String,
+    /// Injected return value.
+    pub retval: Word,
+    /// Injected errno, if any.
+    pub errno: Option<Word>,
+    /// Which interception of this function this was (1-based).
+    pub call_count: u64,
+    /// Module and offset of the call site.
+    pub call_site: (String, u64),
+    /// Source location of the call site, if debug info is present.
+    pub source: Option<(String, u32)>,
+    /// Trigger ids of the conjunction that fired.
+    pub triggers: Vec<String>,
+    /// Virtual time of the injection.
+    pub clock: u64,
+}
+
+/// The injection log of one test run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionLog {
+    /// Recorded injections, in order.
+    pub records: Vec<InjectionRecord>,
+    /// Total interceptions observed (including ones that did not inject).
+    pub interceptions: u64,
+    /// Total trigger evaluations performed (measures short-circuiting).
+    pub trigger_evaluations: u64,
+}
+
+impl InjectionLog {
+    /// Number of injections performed.
+    pub fn injection_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Injections performed on a given function.
+    pub fn injections_into(&self, function: &str) -> usize {
+        self.records.iter().filter(|r| r.function == function).count()
+    }
+
+    /// Serialize the log as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("log serialization cannot fail")
+    }
+}
+
+struct CompiledAssoc {
+    retval: Option<Word>,
+    errno: Option<Word>,
+    trigger_indices: Vec<usize>,
+}
+
+struct TriggerSlot {
+    id: String,
+    decl_index: usize,
+    /// Lazily instantiated on first evaluation (§4.3 lazy initialization).
+    instance: Option<Box<dyn Trigger>>,
+}
+
+/// The LFI injection engine; plugs into the VM as a [`HookHandler`].
+pub struct InjectionEngine {
+    registry: TriggerRegistry,
+    scenario: Scenario,
+    /// function name -> list of compiled associations (disjunction order).
+    assocs: HashMap<String, Vec<CompiledAssoc>>,
+    slots: Vec<TriggerSlot>,
+    call_counts: HashMap<String, u64>,
+    /// Structured injection log.
+    pub log: InjectionLog,
+    /// Virtual-time cost charged per trigger evaluation.
+    pub trigger_eval_cost: u64,
+    /// Stop injecting after this many injections (None = unlimited).
+    pub max_injections: Option<u64>,
+    /// If true, evaluate triggers but never actually inject (used by the
+    /// overhead experiments in §7.4, which measure the trigger mechanism
+    /// while letting all calls through).
+    pub observe_only: bool,
+}
+
+impl std::fmt::Debug for InjectionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InjectionEngine")
+            .field("functions", &self.assocs.keys().collect::<Vec<_>>())
+            .field("injections", &self.log.injection_count())
+            .finish()
+    }
+}
+
+impl InjectionEngine {
+    /// Compile a scenario with the default (stock) trigger registry.
+    pub fn new(scenario: Scenario) -> Result<InjectionEngine, crate::triggers::TriggerBuildError> {
+        InjectionEngine::with_registry(scenario, TriggerRegistry::default())
+    }
+
+    /// Compile a scenario with a custom registry (for custom trigger classes).
+    pub fn with_registry(
+        scenario: Scenario,
+        registry: TriggerRegistry,
+    ) -> Result<InjectionEngine, crate::triggers::TriggerBuildError> {
+        // Build one slot per declared trigger (instantiated lazily), and
+        // verify up front that every class is known so configuration errors
+        // surface before the test runs.
+        let mut slots = Vec::new();
+        for (index, decl) in scenario.triggers.iter().enumerate() {
+            registry.build(decl)?;
+            slots.push(TriggerSlot {
+                id: decl.id.clone(),
+                decl_index: index,
+                instance: None,
+            });
+        }
+        let slot_index: HashMap<String, usize> = slots
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id.clone(), i))
+            .collect();
+        let mut assocs: HashMap<String, Vec<CompiledAssoc>> = HashMap::new();
+        for assoc in &scenario.functions {
+            let trigger_indices = assoc
+                .triggers
+                .iter()
+                .filter_map(|id| slot_index.get(id).copied())
+                .collect();
+            assocs
+                .entry(assoc.function.clone())
+                .or_default()
+                .push(CompiledAssoc {
+                    retval: assoc.retval,
+                    errno: assoc.errno,
+                    trigger_indices,
+                });
+        }
+        Ok(InjectionEngine {
+            registry,
+            scenario,
+            assocs,
+            slots,
+            call_counts: HashMap::new(),
+            log: InjectionLog::default(),
+            trigger_eval_cost: 10,
+            max_injections: None,
+            observe_only: false,
+        })
+    }
+
+    /// The functions this engine needs the loader to interpose on.
+    pub fn interposed_functions(&self) -> Vec<String> {
+        self.scenario.intercepted_functions()
+    }
+
+    /// The compiled scenario.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Number of times a function has been intercepted so far.
+    pub fn call_count(&self, function: &str) -> u64 {
+        self.call_counts.get(function).copied().unwrap_or(0)
+    }
+
+    fn eval_slot(
+        slots: &mut [TriggerSlot],
+        registry: &TriggerRegistry,
+        scenario: &Scenario,
+        index: usize,
+        ctx: &mut TriggerCtx<'_, '_>,
+    ) -> bool {
+        let slot = &mut slots[index];
+        if slot.instance.is_none() {
+            let decl = &scenario.triggers[slot.decl_index];
+            slot.instance = registry.build(decl).ok();
+        }
+        match slot.instance.as_mut() {
+            Some(trigger) => trigger.eval(ctx),
+            None => false,
+        }
+    }
+}
+
+impl HookHandler for InjectionEngine {
+    fn on_call(&mut self, func: &str, ctx: &mut CallContext<'_>) -> HookAction {
+        let count = self.call_counts.entry(func.to_string()).or_insert(0);
+        *count += 1;
+        let count = *count;
+        self.log.interceptions += 1;
+
+        let Some(assocs) = self.assocs.get(func) else {
+            return HookAction::Forward;
+        };
+        if let Some(limit) = self.max_injections {
+            if self.log.records.len() as u64 >= limit {
+                return HookAction::Forward;
+            }
+        }
+        // Evaluate each association (disjunction). Within one association the
+        // triggers form a conjunction evaluated with short-circuiting.
+        for assoc_idx in 0..assocs.len() {
+            let assoc = &self.assocs[func][assoc_idx];
+            let trigger_indices = assoc.trigger_indices.clone();
+            let (retval, errno) = (assoc.retval, assoc.errno);
+            let mut all_true = !trigger_indices.is_empty() || retval.is_some();
+            for &slot_idx in &trigger_indices {
+                self.log.trigger_evaluations += 1;
+                ctx.add_cost(self.trigger_eval_cost);
+                let mut trigger_ctx = TriggerCtx {
+                    function: func,
+                    call_count: count,
+                    call: ctx,
+                };
+                let fired = Self::eval_slot(
+                    &mut self.slots,
+                    &self.registry,
+                    &self.scenario,
+                    slot_idx,
+                    &mut trigger_ctx,
+                );
+                if !fired {
+                    all_true = false;
+                    break; // Short-circuit: remaining triggers are not invoked.
+                }
+            }
+            if !all_true {
+                continue;
+            }
+            // Observational associations (return="unused") never inject.
+            let Some(retval) = retval else {
+                continue;
+            };
+            if self.observe_only {
+                continue;
+            }
+            let (module, offset) = ctx.call_site();
+            self.log.records.push(InjectionRecord {
+                function: func.to_string(),
+                retval,
+                errno,
+                call_count: count,
+                call_site: (module.to_string(), offset),
+                source: ctx.call_site_source(),
+                triggers: trigger_indices
+                    .iter()
+                    .map(|&i| self.slots[i].id.clone())
+                    .collect(),
+                clock: ctx.clock(),
+            });
+            return HookAction::Return {
+                value: retval,
+                errno,
+            };
+        }
+        HookAction::Forward
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::scenario::{FunctionAssoc, TriggerDecl};
+
+    use super::*;
+
+    fn singleton_scenario(func: &str) -> Scenario {
+        Scenario::new()
+            .with_trigger(TriggerDecl {
+                id: "once".into(),
+                class: "SingletonTrigger".into(),
+                params: Default::default(),
+                frames: vec![],
+            })
+            .with_function(FunctionAssoc {
+                function: func.into(),
+                argc: 3,
+                retval: Some(-1),
+                errno: Some(lfi_arch::errno::EIO),
+                triggers: vec!["once".into()],
+            })
+    }
+
+    #[test]
+    fn engine_reports_interposed_functions() {
+        let engine = InjectionEngine::new(singleton_scenario("read")).unwrap();
+        assert_eq!(engine.interposed_functions(), vec!["read".to_string()]);
+        assert_eq!(engine.log.injection_count(), 0);
+    }
+
+    #[test]
+    fn unknown_trigger_classes_fail_at_compile_time() {
+        let scenario = Scenario::new().with_trigger(TriggerDecl {
+            id: "x".into(),
+            class: "Bogus".into(),
+            params: Default::default(),
+            frames: vec![],
+        });
+        assert!(InjectionEngine::new(scenario).is_err());
+    }
+
+    #[test]
+    fn log_serializes_to_json() {
+        let mut log = InjectionLog::default();
+        log.records.push(InjectionRecord {
+            function: "read".into(),
+            retval: -1,
+            errno: Some(5),
+            call_count: 3,
+            call_site: ("app".into(), 0x120),
+            source: Some(("app.c".into(), 17)),
+            triggers: vec!["t1".into()],
+            clock: 999,
+        });
+        let json = log.to_json();
+        assert!(json.contains("\"read\""));
+        assert!(json.contains("app.c"));
+        assert_eq!(log.injections_into("read"), 1);
+        assert_eq!(log.injections_into("write"), 0);
+    }
+}

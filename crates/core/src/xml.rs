@@ -1,0 +1,386 @@
+//! Minimal XML parser for the fault-injection scenario language.
+//!
+//! The paper uses an XML test-specification language so scenarios are both
+//! human- and machine-readable (§4.1). This module implements the small XML
+//! subset those scenarios need: elements, attributes (single or double
+//! quoted), nested children, text content, comments, and self-closing tags.
+
+use std::fmt;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct XmlNode {
+    /// Element name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlNode>,
+    /// Concatenated text content directly inside this element (trimmed).
+    pub text: String,
+}
+
+impl XmlNode {
+    /// Value of an attribute, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&XmlNode> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlNode> + 'a {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Text content of a named child, if any.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        self.child(name).map(|c| c.text.as_str())
+    }
+
+    /// Render this node (and its subtree) back to XML text.
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push_str(&format!(" {k}=\"{}\"", escape(v)));
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str(" />\n");
+            return;
+        }
+        out.push('>');
+        if !self.text.is_empty() {
+            out.push_str(&escape(&self.text));
+        }
+        if !self.children.is_empty() {
+            out.push('\n');
+            for child in &self.children {
+                child.write(out, indent + 1);
+            }
+            out.push_str(&pad);
+        }
+        out.push_str(&format!("</{}>\n", self.name));
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(text: &str) -> String {
+    text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&amp;", "&")
+}
+
+/// XML parse error with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input.
+    pub position: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+struct Parser<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> XmlError {
+        XmlError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.text[self.pos..].starts_with(b"<!--") {
+                if let Some(end) = find(self.text, self.pos + 4, b"-->") {
+                    self.pos = end + 3;
+                    continue;
+                }
+                self.pos = self.text.len();
+            }
+            if self.text[self.pos..].starts_with(b"<?") {
+                if let Some(end) = find(self.text, self.pos + 2, b"?>") {
+                    self.pos = end + 2;
+                    continue;
+                }
+                self.pos = self.text.len();
+            }
+            break;
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while self.pos < self.text.len()
+            && (self.text[self.pos].is_ascii_alphanumeric()
+                || matches!(self.text[self.pos], b'_' | b'-' | b':' | b'.'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.text[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<XmlNode, XmlError> {
+        if self.text.get(self.pos) != Some(&b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut node = XmlNode {
+            name,
+            ..XmlNode::default()
+        };
+        // Attributes.
+        loop {
+            while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            match self.text.get(self.pos) {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.text.get(self.pos) != Some(&b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(node);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    if self.text.get(self.pos) != Some(&b'=') {
+                        return Err(self.err("expected `=` after attribute name"));
+                    }
+                    self.pos += 1;
+                    let quote = *self
+                        .text
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated attribute"))?;
+                    if quote != b'"' && quote != b'\'' {
+                        return Err(self.err("attribute value must be quoted"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.pos < self.text.len() && self.text[self.pos] != quote {
+                        self.pos += 1;
+                    }
+                    if self.pos >= self.text.len() {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    node.attrs.push((key, unescape(&value)));
+                }
+                None => return Err(self.err("unterminated element")),
+            }
+        }
+        // Content.
+        loop {
+            // Accumulate text until the next `<`.
+            let start = self.pos;
+            while self.pos < self.text.len() && self.text[self.pos] != b'<' {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = String::from_utf8_lossy(&self.text[start..self.pos]);
+                let chunk = chunk.trim();
+                if !chunk.is_empty() {
+                    if !node.text.is_empty() {
+                        node.text.push(' ');
+                    }
+                    node.text.push_str(&unescape(chunk));
+                }
+            }
+            if self.pos >= self.text.len() {
+                return Err(self.err(format!("unterminated element `{}`", node.name)));
+            }
+            if self.text[self.pos..].starts_with(b"<!--") {
+                match find(self.text, self.pos + 4, b"-->") {
+                    Some(end) => {
+                        self.pos = end + 3;
+                        continue;
+                    }
+                    None => return Err(self.err("unterminated comment")),
+                }
+            }
+            if self.text[self.pos..].starts_with(b"</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != node.name {
+                    return Err(self.err(format!(
+                        "mismatched closing tag `{close}` for `{}`",
+                        node.name
+                    )));
+                }
+                while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+                    self.pos += 1;
+                }
+                if self.text.get(self.pos) != Some(&b'>') {
+                    return Err(self.err("expected `>` in closing tag"));
+                }
+                self.pos += 1;
+                return Ok(node);
+            }
+            let child = self.parse_element()?;
+            node.children.push(child);
+        }
+    }
+}
+
+fn find(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| p + from)
+}
+
+/// Parse an XML document with a single root element (leading comments and an
+/// XML declaration are allowed).
+pub fn parse_xml(text: &str) -> Result<XmlNode, XmlError> {
+    let mut parser = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws_and_comments();
+    let node = parser.parse_element()?;
+    Ok(node)
+}
+
+/// Parse a document that may have several top-level elements (the paper's
+/// scenarios list `<trigger>` and `<function>` elements side by side); they
+/// are wrapped in a synthetic `<scenario>` root if needed.
+pub fn parse_xml_fragments(text: &str) -> Result<XmlNode, XmlError> {
+    let trimmed = text.trim_start();
+    if trimmed.starts_with("<scenario") || trimmed.starts_with("<?xml") && text.contains("<scenario")
+    {
+        return parse_xml(text);
+    }
+    let mut parser = Parser {
+        text: text.as_bytes(),
+        pos: 0,
+    };
+    let mut root = XmlNode {
+        name: "scenario".to_string(),
+        ..XmlNode::default()
+    };
+    loop {
+        parser.skip_ws_and_comments();
+        if parser.pos >= parser.text.len() {
+            break;
+        }
+        root.children.push(parser.parse_element()?);
+    }
+    if root.children.len() == 1 && root.children[0].name == "scenario" {
+        return Ok(root.children.remove(0));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_elements_attributes_and_text() {
+        let doc = r#"
+            <!-- a scenario fragment -->
+            <trigger id="readTrig1" class='ReadPipe'>
+                <args>
+                    <low>1024</low>
+                    <high>4096</high>
+                </args>
+            </trigger>
+        "#;
+        let node = parse_xml(doc).unwrap();
+        assert_eq!(node.name, "trigger");
+        assert_eq!(node.attr("id"), Some("readTrig1"));
+        assert_eq!(node.attr("class"), Some("ReadPipe"));
+        let args = node.child("args").unwrap();
+        assert_eq!(args.child_text("low"), Some("1024"));
+        assert_eq!(args.child_text("high"), Some("4096"));
+    }
+
+    #[test]
+    fn self_closing_tags_and_fragments() {
+        let doc = r#"
+            <trigger id="t1" class="RandomTrigger" />
+            <function name="read" argc="3" return="-1" errno="EINVAL">
+                <reftrigger ref="t1" />
+            </function>
+        "#;
+        let root = parse_xml_fragments(doc).unwrap();
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "trigger");
+        assert_eq!(root.children[1].attr("errno"), Some("EINVAL"));
+        assert_eq!(
+            root.children[1].children_named("reftrigger").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_to_xml() {
+        let doc = r#"<function name="read" argc="3"><reftrigger ref="a" /><reftrigger ref="b" /></function>"#;
+        let node = parse_xml(doc).unwrap();
+        let text = node.to_xml();
+        let back = parse_xml(&text).unwrap();
+        assert_eq!(back, node);
+    }
+
+    #[test]
+    fn escaped_entities_are_decoded() {
+        let node = parse_xml(r#"<v expr="a &lt; b">x &amp; y</v>"#).unwrap();
+        assert_eq!(node.attr("expr"), Some("a < b"));
+        assert_eq!(node.text, "x & y");
+    }
+
+    #[test]
+    fn reports_errors_for_malformed_documents() {
+        assert!(parse_xml("<a><b></a>").is_err());
+        assert!(parse_xml("<a foo=bar></a>").is_err());
+        assert!(parse_xml("<a").is_err());
+        assert!(parse_xml("plain text").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! Multi-process harness for `bft-lite`: four replicas plus one client on a
+//! shared simulated network, each with its own injection engine (all engines
+//! share the distributed trigger controller when one is registered).
+//!
+//! This harness backs the distributed experiments: the Table 1 PBFT bugs,
+//! Figure 3 (slowdown under progressively worse "network conditions",
+//! implemented as random injections into `sendto`/`recvfrom`), and the §7.3
+//! denial-of-service study.
+
+use lfi_core::{InjectionEngine, Scenario, TriggerRegistry};
+use lfi_libc::build as build_libc;
+use lfi_vm::{Datagram, Fault, Loader, Machine, NetHandle, ProcessConfig, RunExit, SimNet};
+
+use crate::{bft_lite, standard_fs_setup};
+
+/// Configuration of one cluster run.
+#[derive(Debug, Clone)]
+pub struct BftClusterConfig {
+    /// Number of replicas (the paper uses 4, i.e. f = 1).
+    pub replicas: usize,
+    /// Number of client requests to issue.
+    pub requests: usize,
+    /// Client retransmission timeout, in polling iterations.
+    pub client_timeout: i64,
+    /// Replica idle budget before it shuts down, in polling iterations.
+    pub replica_idle: i64,
+    /// RNG seed (propagated to every node).
+    pub seed: u64,
+    /// The injection scenario applied to every node.
+    pub scenario: Scenario,
+    /// Trigger registry used to build each node's engine (register the
+    /// `DistributedTrigger` controller here).
+    pub registry: TriggerRegistry,
+    /// Global instruction budget across all nodes.
+    pub budget: u64,
+    /// Round-robin slice per node, in instructions.
+    pub slice: u64,
+}
+
+impl Default for BftClusterConfig {
+    fn default() -> Self {
+        BftClusterConfig {
+            replicas: 4,
+            requests: 8,
+            client_timeout: 300,
+            replica_idle: 4000,
+            seed: 1,
+            scenario: Scenario::new(),
+            registry: TriggerRegistry::default(),
+            budget: 120_000_000,
+            slice: 20_000,
+        }
+    }
+}
+
+/// Outcome of one cluster run.
+#[derive(Debug)]
+pub struct BftRunResult {
+    /// Requests the client completed (got f+1 matching replies for).
+    pub completed: i64,
+    /// Maximum virtual time across all nodes — the cluster's makespan.
+    pub virtual_time: u64,
+    /// Requests per million virtual ticks (the throughput measure used for
+    /// Figure 3 and the DoS study).
+    pub throughput: f64,
+    /// Crashes observed, as `(node id, fault)`.
+    pub crashes: Vec<(i64, Fault)>,
+    /// Total injections across all nodes.
+    pub injections: u64,
+    /// Client output.
+    pub client_output: String,
+}
+
+const CLIENT_NODE: i64 = 99;
+const BASE_PORT: i64 = 5000;
+const CLIENT_PORT: i64 = 6000;
+
+/// Run a bft-lite cluster under the given configuration.
+pub fn run_bft_cluster(config: &BftClusterConfig) -> BftRunResult {
+    let net = NetHandle::new(SimNet::new(config.seed));
+    let libc = build_libc();
+    let exe = bft_lite();
+
+    // Pre-bind every endpoint so early datagrams are queued, not dropped.
+    for replica in 1..=config.replicas as i64 {
+        net.bind(replica, BASE_PORT + replica);
+    }
+    net.bind(CLIENT_NODE, CLIENT_PORT);
+
+    // Startup synchronization expected by the replicas (see bft-lite.c).
+    for replica in 1..=config.replicas as i64 {
+        net.send(Datagram {
+            from_node: 0,
+            from_port: 0,
+            to_node: replica,
+            to_port: BASE_PORT + replica,
+            payload: b"hello".to_vec(),
+        });
+    }
+
+    let mut nodes: Vec<(i64, Machine, InjectionEngine)> = Vec::new();
+    let make_node = |node_id: i64, args: Vec<String>| {
+        let mut loader = Loader::new();
+        loader.add_library(libc.clone());
+        let engine =
+            InjectionEngine::with_registry(config.scenario.clone(), config.registry.clone())
+                .expect("scenario must compile");
+        loader.interpose_all(engine.interposed_functions());
+        let image = loader.load(exe.clone()).expect("bft-lite must load");
+        let mut machine = Machine::new(
+            image,
+            ProcessConfig {
+                node_id,
+                seed: config.seed.wrapping_add(node_id as u64),
+                args,
+                ..ProcessConfig::default()
+            },
+        );
+        machine.attach_net(net.clone());
+        standard_fs_setup(&mut machine);
+        (node_id, machine, engine)
+    };
+
+    for replica in 1..=config.replicas as i64 {
+        nodes.push(make_node(
+            replica,
+            vec![
+                "replica".to_string(),
+                replica.to_string(),
+                config.replica_idle.to_string(),
+            ],
+        ));
+    }
+    nodes.push(make_node(
+        CLIENT_NODE,
+        vec![
+            "client".to_string(),
+            config.requests.to_string(),
+            config.client_timeout.to_string(),
+        ],
+    ));
+
+    let mut crashes = Vec::new();
+    let mut client_exit: Option<RunExit> = None;
+    let mut spent: u64 = 0;
+    while spent < config.budget {
+        let mut any_progress = false;
+        for (node_id, machine, engine) in nodes.iter_mut() {
+            if machine.finished().is_some() {
+                continue;
+            }
+            let before = machine.stats.instructions;
+            let exit = machine.run(engine, config.slice);
+            spent += machine.stats.instructions - before;
+            match &exit {
+                RunExit::Budget | RunExit::Blocked => {}
+                RunExit::Fault(fault) => crashes.push((*node_id, fault.clone())),
+                RunExit::Exited(_) => {
+                    if *node_id == CLIENT_NODE {
+                        client_exit = Some(exit.clone());
+                    }
+                }
+            }
+            if machine.stats.instructions != before {
+                any_progress = true;
+            }
+        }
+        // Stop once the client is done (or everything is stuck).
+        if client_exit.is_some() || !any_progress {
+            break;
+        }
+    }
+
+    let client = nodes
+        .iter()
+        .find(|(id, _, _)| *id == CLIENT_NODE)
+        .expect("client node exists");
+    let completed = match client_exit {
+        Some(RunExit::Exited(code)) => code,
+        _ => 0,
+    };
+    let virtual_time = nodes.iter().map(|(_, m, _)| m.clock()).max().unwrap_or(0);
+    let injections: u64 = nodes
+        .iter()
+        .map(|(_, _, e)| e.log.injection_count() as u64)
+        .sum();
+    let throughput = if virtual_time > 0 {
+        completed as f64 * 1_000_000.0 / virtual_time as f64
+    } else {
+        0.0
+    };
+    BftRunResult {
+        completed,
+        virtual_time,
+        throughput,
+        crashes,
+        injections,
+        client_output: client.1.output_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_completes_requests_without_injection() {
+        let result = run_bft_cluster(&BftClusterConfig {
+            requests: 6,
+            ..BftClusterConfig::default()
+        });
+        assert!(
+            result.completed >= 5,
+            "expected most requests to complete, got {} (output: {})",
+            result.completed,
+            result.client_output
+        );
+        assert!(result.crashes.is_empty(), "crashes: {:?}", result.crashes);
+        assert!(result.virtual_time > 0);
+        assert!(result.throughput > 0.0);
+        assert_eq!(result.injections, 0);
+    }
+}

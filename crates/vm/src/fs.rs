@@ -1,0 +1,413 @@
+//! In-memory filesystem used by the simulated environment.
+//!
+//! The filesystem exposes the operations the simulated libc needs (`open`,
+//! `read`, `write`, `unlink`, `mkdir`, `opendir`/`readdir`, `readlink`,
+//! `rename`, `stat`, ...). Failures are reported as negative errno values in
+//! the kernel style; the libc turns them into `-1` + `errno`.
+
+use std::collections::BTreeMap;
+
+use lfi_arch::{abi::filekind, errno};
+
+/// A node in the filesystem tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    File(Vec<u8>),
+    Dir,
+    Symlink(String),
+}
+
+/// Error type used internally; converted to `-errno` at the syscall surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsError(pub i64);
+
+impl FsError {
+    /// The errno value carried by this error.
+    pub fn errno(self) -> i64 {
+        self.0
+    }
+}
+
+type FsResult<T> = Result<T, FsError>;
+
+/// A simple in-memory filesystem with a flat map of normalized absolute paths.
+#[derive(Debug, Clone, Default)]
+pub struct SimFs {
+    nodes: BTreeMap<String, Node>,
+    /// Paths for which every operation fails with `EIO`, used by workloads to
+    /// emulate low-level I/O problems without LFI involvement.
+    io_error_paths: Vec<String>,
+}
+
+fn normalize(path: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            other => parts.push(other),
+        }
+    }
+    format!("/{}", parts.join("/"))
+}
+
+fn parent_of(path: &str) -> String {
+    let norm = normalize(path);
+    match norm.rfind('/') {
+        Some(0) | None => "/".to_string(),
+        Some(idx) => norm[..idx].to_string(),
+    }
+}
+
+impl SimFs {
+    /// Create a filesystem containing only the root directory.
+    pub fn new() -> SimFs {
+        let mut fs = SimFs::default();
+        fs.nodes.insert("/".to_string(), Node::Dir);
+        fs
+    }
+
+    /// Mark a path so that reads and writes on it fail with `EIO`.
+    ///
+    /// This is how workloads emulate the paper's "file exists but reading
+    /// from it fails for a reason such as a low-level I/O error" scenario for
+    /// the MySQL `errmsg.sys` bug, without involving the fault injector.
+    pub fn set_io_error(&mut self, path: &str) {
+        self.io_error_paths.push(normalize(path));
+    }
+
+    fn has_io_error(&self, path: &str) -> bool {
+        self.io_error_paths.iter().any(|p| p == path)
+    }
+
+    /// Create or replace a regular file with the given contents.
+    pub fn write_file(&mut self, path: &str, contents: &[u8]) -> FsResult<()> {
+        let path = normalize(path);
+        let parent = parent_of(&path);
+        if !matches!(self.nodes.get(&parent), Some(Node::Dir)) {
+            return Err(FsError(errno::ENOENT));
+        }
+        if matches!(self.nodes.get(&path), Some(Node::Dir)) {
+            return Err(FsError(errno::EISDIR));
+        }
+        self.nodes.insert(path, Node::File(contents.to_vec()));
+        Ok(())
+    }
+
+    /// Read the contents of a regular file.
+    pub fn read_file(&self, path: &str) -> FsResult<Vec<u8>> {
+        let path = normalize(path);
+        if self.has_io_error(&path) {
+            return Err(FsError(errno::EIO));
+        }
+        match self.nodes.get(&path) {
+            Some(Node::File(data)) => Ok(data.clone()),
+            Some(Node::Dir) => Err(FsError(errno::EISDIR)),
+            Some(Node::Symlink(target)) => self.read_file(&target.clone()),
+            None => Err(FsError(errno::ENOENT)),
+        }
+    }
+
+    /// Whether a path exists (file, directory or symlink).
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(&normalize(path))
+    }
+
+    /// Create a directory (parents must exist).
+    pub fn mkdir(&mut self, path: &str) -> FsResult<()> {
+        let path = normalize(path);
+        if self.nodes.contains_key(&path) {
+            return Err(FsError(errno::EEXIST));
+        }
+        let parent = parent_of(&path);
+        if !matches!(self.nodes.get(&parent), Some(Node::Dir)) {
+            return Err(FsError(errno::ENOENT));
+        }
+        self.nodes.insert(path, Node::Dir);
+        Ok(())
+    }
+
+    /// Create all missing directories along a path.
+    pub fn mkdir_all(&mut self, path: &str) {
+        let norm = normalize(path);
+        let mut current = String::new();
+        for part in norm.split('/').filter(|p| !p.is_empty()) {
+            current.push('/');
+            current.push_str(part);
+            self.nodes.entry(current.clone()).or_insert(Node::Dir);
+        }
+    }
+
+    /// Remove a file or symlink.
+    pub fn unlink(&mut self, path: &str) -> FsResult<()> {
+        let path = normalize(path);
+        match self.nodes.get(&path) {
+            Some(Node::Dir) => Err(FsError(errno::EISDIR)),
+            Some(_) => {
+                self.nodes.remove(&path);
+                Ok(())
+            }
+            None => Err(FsError(errno::ENOENT)),
+        }
+    }
+
+    /// Rename a file, directory or symlink.
+    pub fn rename(&mut self, old: &str, new: &str) -> FsResult<()> {
+        let old = normalize(old);
+        let new = normalize(new);
+        let node = self.nodes.remove(&old).ok_or(FsError(errno::ENOENT))?;
+        let parent = parent_of(&new);
+        if !matches!(self.nodes.get(&parent), Some(Node::Dir)) {
+            self.nodes.insert(old, node);
+            return Err(FsError(errno::ENOENT));
+        }
+        self.nodes.insert(new, node);
+        Ok(())
+    }
+
+    /// Create a symlink at `link` pointing to `target`.
+    pub fn symlink(&mut self, target: &str, link: &str) -> FsResult<()> {
+        let link = normalize(link);
+        if self.nodes.contains_key(&link) {
+            return Err(FsError(errno::EEXIST));
+        }
+        let parent = parent_of(&link);
+        if !matches!(self.nodes.get(&parent), Some(Node::Dir)) {
+            return Err(FsError(errno::ENOENT));
+        }
+        self.nodes.insert(link, Node::Symlink(target.to_string()));
+        Ok(())
+    }
+
+    /// Read the target of a symlink.
+    pub fn readlink(&self, path: &str) -> FsResult<String> {
+        match self.nodes.get(&normalize(path)) {
+            Some(Node::Symlink(target)) => Ok(target.clone()),
+            Some(_) => Err(FsError(errno::EINVAL)),
+            None => Err(FsError(errno::ENOENT)),
+        }
+    }
+
+    /// List the names of the entries directly inside a directory.
+    pub fn list_dir(&self, path: &str) -> FsResult<Vec<String>> {
+        let path = normalize(path);
+        match self.nodes.get(&path) {
+            Some(Node::Dir) => {}
+            Some(_) => return Err(FsError(errno::ENOTDIR)),
+            None => return Err(FsError(errno::ENOENT)),
+        }
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let mut names = Vec::new();
+        for key in self.nodes.keys() {
+            if let Some(rest) = key.strip_prefix(&prefix) {
+                if !rest.is_empty() && !rest.contains('/') {
+                    names.push(rest.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    /// File kind and size, following at most one level of symlink.
+    pub fn stat(&self, path: &str) -> FsResult<(i64, i64)> {
+        let path = normalize(path);
+        match self.nodes.get(&path) {
+            Some(Node::File(data)) => Ok((filekind::REGULAR, data.len() as i64)),
+            Some(Node::Dir) => Ok((filekind::DIRECTORY, 0)),
+            Some(Node::Symlink(target)) => {
+                let target = target.clone();
+                match self.nodes.get(&normalize(&target)) {
+                    Some(Node::File(data)) => Ok((filekind::REGULAR, data.len() as i64)),
+                    Some(Node::Dir) => Ok((filekind::DIRECTORY, 0)),
+                    _ => Ok((filekind::SYMLINK, target.len() as i64)),
+                }
+            }
+            None => Err(FsError(errno::ENOENT)),
+        }
+    }
+
+    /// Truncate or extend a regular file to the given length.
+    pub fn truncate(&mut self, path: &str, len: u64) -> FsResult<()> {
+        let path = normalize(path);
+        match self.nodes.get_mut(&path) {
+            Some(Node::File(data)) => {
+                data.resize(len as usize, 0);
+                Ok(())
+            }
+            Some(_) => Err(FsError(errno::EISDIR)),
+            None => Err(FsError(errno::ENOENT)),
+        }
+    }
+
+    /// Read `count` bytes from a file starting at `offset`.
+    pub fn read_at(&self, path: &str, offset: u64, count: usize) -> FsResult<Vec<u8>> {
+        let path = normalize(path);
+        if self.has_io_error(&path) {
+            return Err(FsError(errno::EIO));
+        }
+        match self.nodes.get(&path) {
+            Some(Node::File(data)) => {
+                let start = (offset as usize).min(data.len());
+                let end = (start + count).min(data.len());
+                Ok(data[start..end].to_vec())
+            }
+            Some(Node::Dir) => Err(FsError(errno::EISDIR)),
+            Some(Node::Symlink(t)) => self.read_at(&t.clone(), offset, count),
+            None => Err(FsError(errno::ENOENT)),
+        }
+    }
+
+    /// Write bytes into a file at `offset`, extending it if needed.
+    pub fn write_at(&mut self, path: &str, offset: u64, bytes: &[u8]) -> FsResult<usize> {
+        let path = normalize(path);
+        if self.has_io_error(&path) {
+            return Err(FsError(errno::EIO));
+        }
+        match self.nodes.get_mut(&path) {
+            Some(Node::File(data)) => {
+                let end = offset as usize + bytes.len();
+                if data.len() < end {
+                    data.resize(end, 0);
+                }
+                data[offset as usize..end].copy_from_slice(bytes);
+                Ok(bytes.len())
+            }
+            Some(Node::Dir) => Err(FsError(errno::EISDIR)),
+            Some(Node::Symlink(t)) => {
+                let target = t.clone();
+                self.write_at(&target, offset, bytes)
+            }
+            None => Err(FsError(errno::ENOENT)),
+        }
+    }
+
+    /// Size of a regular file.
+    pub fn file_len(&self, path: &str) -> FsResult<u64> {
+        self.stat(path).map(|(_, len)| len as u64)
+    }
+
+    /// All paths currently in the filesystem (for assertions in tests).
+    pub fn paths(&self) -> Vec<String> {
+        self.nodes.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_file() {
+        let mut fs = SimFs::new();
+        // Writing under a missing parent directory fails.
+        assert_eq!(
+            fs.write_file("/etc/zone.conf", b"example.org"),
+            Err(FsError(errno::ENOENT))
+        );
+        assert_eq!(fs.read_file("/etc/zone.conf"), Err(FsError(errno::ENOENT)));
+        fs.mkdir("/etc").unwrap();
+        fs.write_file("/etc/zone.conf", b"example.org").unwrap();
+        assert_eq!(fs.read_file("/etc/zone.conf").unwrap(), b"example.org");
+    }
+
+    #[test]
+    fn missing_file_is_enoent() {
+        let fs = SimFs::new();
+        assert_eq!(fs.read_file("/nope"), Err(FsError(errno::ENOENT)));
+        assert_eq!(fs.stat("/nope"), Err(FsError(errno::ENOENT)));
+    }
+
+    #[test]
+    fn mkdir_and_listing() {
+        let mut fs = SimFs::new();
+        fs.mkdir("/a").unwrap();
+        fs.mkdir("/a/b").unwrap();
+        fs.write_file("/a/x", b"1").unwrap();
+        fs.write_file("/a/y", b"2").unwrap();
+        let mut names = fs.list_dir("/a").unwrap();
+        names.sort();
+        assert_eq!(names, vec!["b", "x", "y"]);
+        assert_eq!(fs.list_dir("/a/x"), Err(FsError(errno::ENOTDIR)));
+        assert_eq!(fs.list_dir("/missing"), Err(FsError(errno::ENOENT)));
+        assert_eq!(fs.mkdir("/a"), Err(FsError(errno::EEXIST)));
+    }
+
+    #[test]
+    fn mkdir_all_creates_parents() {
+        let mut fs = SimFs::new();
+        fs.mkdir_all("/repo/.git/objects");
+        assert!(fs.exists("/repo/.git/objects"));
+        assert_eq!(fs.stat("/repo/.git").unwrap().0, filekind::DIRECTORY);
+    }
+
+    #[test]
+    fn unlink_and_rename() {
+        let mut fs = SimFs::new();
+        fs.write_file("/f", b"data").unwrap();
+        fs.rename("/f", "/g").unwrap();
+        assert!(!fs.exists("/f"));
+        assert_eq!(fs.read_file("/g").unwrap(), b"data");
+        fs.unlink("/g").unwrap();
+        assert_eq!(fs.unlink("/g"), Err(FsError(errno::ENOENT)));
+        fs.mkdir("/d").unwrap();
+        assert_eq!(fs.unlink("/d"), Err(FsError(errno::EISDIR)));
+    }
+
+    #[test]
+    fn symlink_and_readlink() {
+        let mut fs = SimFs::new();
+        fs.write_file("/real", b"content").unwrap();
+        fs.symlink("/real", "/link").unwrap();
+        assert_eq!(fs.readlink("/link").unwrap(), "/real");
+        assert_eq!(fs.read_file("/link").unwrap(), b"content");
+        assert_eq!(fs.readlink("/real"), Err(FsError(errno::EINVAL)));
+    }
+
+    #[test]
+    fn read_write_at_offsets() {
+        let mut fs = SimFs::new();
+        fs.write_file("/f", b"hello world").unwrap();
+        assert_eq!(fs.read_at("/f", 6, 5).unwrap(), b"world");
+        assert_eq!(fs.read_at("/f", 100, 5).unwrap(), b"");
+        fs.write_at("/f", 6, b"earth").unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"hello earth");
+        fs.write_at("/f", 20, b"!").unwrap();
+        assert_eq!(fs.file_len("/f").unwrap(), 21);
+    }
+
+    #[test]
+    fn io_error_paths_fail_reads_and_writes() {
+        let mut fs = SimFs::new();
+        fs.write_file("/errmsg.sys", b"messages").unwrap();
+        fs.set_io_error("/errmsg.sys");
+        assert_eq!(fs.read_file("/errmsg.sys"), Err(FsError(errno::EIO)));
+        assert_eq!(fs.read_at("/errmsg.sys", 0, 4), Err(FsError(errno::EIO)));
+        assert_eq!(fs.write_at("/errmsg.sys", 0, b"x"), Err(FsError(errno::EIO)));
+    }
+
+    #[test]
+    fn path_normalization() {
+        let mut fs = SimFs::new();
+        fs.mkdir("/a").unwrap();
+        fs.write_file("/a/./b", b"1").unwrap();
+        assert_eq!(fs.read_file("/a/b").unwrap(), b"1");
+        assert_eq!(fs.read_file("/a/../a/b").unwrap(), b"1");
+        assert!(fs.exists("//a//b"));
+    }
+
+    #[test]
+    fn truncate_grows_and_shrinks() {
+        let mut fs = SimFs::new();
+        fs.write_file("/f", b"abcdef").unwrap();
+        fs.truncate("/f", 3).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"abc");
+        fs.truncate("/f", 5).unwrap();
+        assert_eq!(fs.read_file("/f").unwrap(), b"abc\0\0");
+    }
+}

@@ -1,0 +1,232 @@
+//! Sparse paged process memory.
+//!
+//! Memory is allocated in pages and only explicitly mapped regions are
+//! accessible. The zero page is never mapped, so null-pointer dereferences
+//! fault exactly like a SIGSEGV would in the paper's experiments (several of
+//! the Table 1 bugs manifest as dereferences of NULL returned by a failed
+//! `malloc`/`opendir`/`fopen`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lfi_arch::{Addr, Word};
+
+/// Size of a memory page in bytes.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Memory access errors, surfaced to the machine as faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Access to an address in an unmapped page.
+    Unmapped {
+        /// The faulting address.
+        addr: Addr,
+    },
+    /// Address arithmetic overflowed.
+    AddressOverflow,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::Unmapped { addr } => write!(f, "unmapped memory access at {addr:#x}"),
+            MemError::AddressOverflow => write!(f, "address arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Sparse byte-addressable memory.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    mapped_bytes: u64,
+}
+
+impl Memory {
+    /// Create an empty address space with nothing mapped.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Map the pages covering `[start, start + len)`; the new memory is
+    /// zero-filled. Mapping an already-mapped page is a no-op.
+    pub fn map_region(&mut self, start: Addr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = start / PAGE_SIZE;
+        let last = (start + len - 1) / PAGE_SIZE;
+        for page in first..=last {
+            self.pages.entry(page).or_insert_with(|| {
+                self.mapped_bytes += PAGE_SIZE;
+                Box::new([0u8; PAGE_SIZE as usize])
+            });
+        }
+    }
+
+    /// Whether `addr` lies in a mapped page.
+    pub fn is_mapped(&self, addr: Addr) -> bool {
+        self.pages.contains_key(&(addr / PAGE_SIZE))
+    }
+
+    /// Total number of bytes currently mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mapped_bytes
+    }
+
+    fn page(&self, addr: Addr) -> Result<&[u8; PAGE_SIZE as usize], MemError> {
+        self.pages
+            .get(&(addr / PAGE_SIZE))
+            .map(|b| b.as_ref())
+            .ok_or(MemError::Unmapped { addr })
+    }
+
+    fn page_mut(&mut self, addr: Addr) -> Result<&mut [u8; PAGE_SIZE as usize], MemError> {
+        self.pages
+            .get_mut(&(addr / PAGE_SIZE))
+            .map(|b| b.as_mut())
+            .ok_or(MemError::Unmapped { addr })
+    }
+
+    /// Read one byte.
+    pub fn read_u8(&self, addr: Addr) -> Result<u8, MemError> {
+        let page = self.page(addr)?;
+        Ok(page[(addr % PAGE_SIZE) as usize])
+    }
+
+    /// Write one byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) -> Result<(), MemError> {
+        let page = self.page_mut(addr)?;
+        page[(addr % PAGE_SIZE) as usize] = value;
+        Ok(())
+    }
+
+    /// Read a 64-bit word (little endian). The access may straddle pages.
+    pub fn read_word(&self, addr: Addr) -> Result<Word, MemError> {
+        let mut bytes = [0u8; 8];
+        self.read_bytes(addr, &mut bytes)?;
+        Ok(Word::from_le_bytes(bytes))
+    }
+
+    /// Write a 64-bit word (little endian). The access may straddle pages.
+    pub fn write_word(&mut self, addr: Addr, value: Word) -> Result<(), MemError> {
+        self.write_bytes(addr, &value.to_le_bytes())
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemError> {
+        for (i, slot) in buf.iter_mut().enumerate() {
+            let a = addr.checked_add(i as u64).ok_or(MemError::AddressOverflow)?;
+            *slot = self.read_u8(a)?;
+        }
+        Ok(())
+    }
+
+    /// Write all of `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), MemError> {
+        for (i, &b) in bytes.iter().enumerate() {
+            let a = addr.checked_add(i as u64).ok_or(MemError::AddressOverflow)?;
+            self.write_u8(a, b)?;
+        }
+        Ok(())
+    }
+
+    /// Read a NUL-terminated string of at most `max_len` bytes.
+    pub fn read_cstring(&self, addr: Addr, max_len: usize) -> Result<String, MemError> {
+        let mut bytes = Vec::new();
+        for i in 0..max_len as u64 {
+            let a = addr.checked_add(i).ok_or(MemError::AddressOverflow)?;
+            let b = self.read_u8(a)?;
+            if b == 0 {
+                break;
+            }
+            bytes.push(b);
+        }
+        Ok(String::from_utf8_lossy(&bytes).into_owned())
+    }
+
+    /// Write a string followed by a NUL terminator.
+    pub fn write_cstring(&mut self, addr: Addr, s: &str) -> Result<(), MemError> {
+        self.write_bytes(addr, s.as_bytes())?;
+        self.write_u8(addr + s.len() as u64, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut mem = Memory::new();
+        assert_eq!(mem.read_u8(0x1000), Err(MemError::Unmapped { addr: 0x1000 }));
+        assert_eq!(
+            mem.write_word(0x2000, 7),
+            Err(MemError::Unmapped { addr: 0x2000 })
+        );
+    }
+
+    #[test]
+    fn null_page_is_never_mapped_by_default() {
+        let mem = Memory::new();
+        assert!(!mem.is_mapped(0));
+        assert!(mem.read_word(0).is_err());
+    }
+
+    #[test]
+    fn mapped_region_reads_back_zero_then_written_values() {
+        let mut mem = Memory::new();
+        mem.map_region(0x10_000, 64);
+        assert_eq!(mem.read_word(0x10_000).unwrap(), 0);
+        mem.write_word(0x10_008, -42).unwrap();
+        assert_eq!(mem.read_word(0x10_008).unwrap(), -42);
+        mem.write_u8(0x10_001, 0xAB).unwrap();
+        assert_eq!(mem.read_u8(0x10_001).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn word_access_straddling_pages_works() {
+        let mut mem = Memory::new();
+        mem.map_region(PAGE_SIZE - 8, 16);
+        let addr = PAGE_SIZE - 4;
+        mem.write_word(addr, 0x1122_3344_5566_7788).unwrap();
+        assert_eq!(mem.read_word(addr).unwrap(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn word_access_straddling_into_unmapped_page_faults() {
+        let mut mem = Memory::new();
+        // Map only the first page; a word write near its end spills over.
+        mem.map_region(0, PAGE_SIZE);
+        assert!(mem.write_word(PAGE_SIZE - 4, 1).is_err());
+    }
+
+    #[test]
+    fn cstring_roundtrip_and_truncation() {
+        let mut mem = Memory::new();
+        mem.map_region(0x20_000, PAGE_SIZE);
+        mem.write_cstring(0x20_000, "hello").unwrap();
+        assert_eq!(mem.read_cstring(0x20_000, 100).unwrap(), "hello");
+        assert_eq!(mem.read_cstring(0x20_000, 3).unwrap(), "hel");
+    }
+
+    #[test]
+    fn mapping_twice_does_not_reset_contents() {
+        let mut mem = Memory::new();
+        mem.map_region(0x30_000, 8);
+        mem.write_word(0x30_000, 9).unwrap();
+        mem.map_region(0x30_000, PAGE_SIZE);
+        assert_eq!(mem.read_word(0x30_000).unwrap(), 9);
+    }
+
+    #[test]
+    fn mapped_bytes_accounting() {
+        let mut mem = Memory::new();
+        mem.map_region(0, 1);
+        assert_eq!(mem.mapped_bytes(), PAGE_SIZE);
+        mem.map_region(0, PAGE_SIZE * 2);
+        assert_eq!(mem.mapped_bytes(), PAGE_SIZE * 2);
+    }
+}

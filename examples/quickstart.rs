@@ -1,0 +1,78 @@
+//! Quickstart: the complete LFI workflow on a small program.
+//!
+//! 1. Compile a program (mini-C) that uses the simulated libc.
+//! 2. Profile the library to learn how its functions fail.
+//! 3. Run the call-site analyzer to find unchecked call sites.
+//! 4. Let LFI generate an injection scenario and run the test.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use lfi::prelude::*;
+
+fn main() {
+    // A program with one properly handled and one unchecked library call.
+    let exe = lfi::cc::Compiler::new("demo", lfi::obj::ModuleKind::Executable)
+        .needs("libc")
+        .add_source(
+            "demo.c",
+            r#"
+            int load_config() {
+                int fd = open("/etc/app.conf", O_RDONLY, 0);
+                if (fd == -1) {
+                    print("no config, using defaults\n");
+                    return 0;
+                }
+                int buf[32];
+                read(fd, buf, 200);
+                close(fd);
+                return 1;
+            }
+            int main() {
+                load_config();
+                int p = malloc(256);
+                *p = 1;                      // missing NULL check
+                print("demo finished\n");
+                return 0;
+            }
+            "#,
+        )
+        .compile()
+        .expect("compile");
+
+    // The controller owns the shared libraries of the system under test.
+    let mut controller = Controller::new();
+    controller.add_library(lfi::libc::build());
+
+    // Step 1: the library fault profile (what can fail, and how).
+    let profile = controller.profile_libraries();
+    let malloc = profile.function("malloc").unwrap();
+    println!(
+        "malloc error returns: {:?}, errno values: {:?}",
+        malloc.error_return_values(),
+        malloc.errno_values()
+    );
+
+    // Step 2: call-site analysis — which call sites don't check errors?
+    for report in controller.analyze(&exe) {
+        for site in &report.sites {
+            println!(
+                "call to {:<8} at {:#06x} in {:<12} -> {:?}",
+                report.function,
+                site.offset,
+                site.caller.clone().unwrap_or_default(),
+                site.class
+            );
+        }
+    }
+
+    // Step 3: generate the injection scenario for unchecked sites and run it.
+    let scenario = controller.generate_scenario(&exe, false);
+    println!("\ngenerated scenario:\n{}", scenario.to_xml());
+
+    let report = controller
+        .run_test(&exe, &scenario, &mut RunToCompletion, &TestConfig::default())
+        .expect("test run");
+    println!("test outcome: {:?}", report.outcome);
+    println!("injection log:\n{}", report.injections.to_json());
+    assert!(report.outcome.is_crash(), "the unchecked malloc must crash");
+}

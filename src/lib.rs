@@ -1,0 +1,72 @@
+//! # LFI — library-level fault injection with high-precision triggers
+//!
+//! This is the facade crate of a from-scratch reproduction of
+//! *"An Extensible Technique for High-Precision Testing of Recovery Code"*
+//! (Marinescu, Banabic, Candea — USENIX ATC 2010). It re-exports the whole
+//! tool chain:
+//!
+//! * [`core`](lfi_core) — triggers, the XML scenario language, the
+//!   interposition/injection runtime and the test controller (the paper's
+//!   contribution);
+//! * [`profiler`](lfi_profiler) — library fault profiles (error returns and
+//!   errno side effects inferred from binaries);
+//! * [`analyzer`](lfi_analyzer) — call-site analysis (Algorithm 1) and
+//!   recovery-block identification;
+//! * the substrate: [`arch`](lfi_arch), [`obj`](lfi_obj), [`asm`](lfi_asm),
+//!   [`cc`](lfi_cc), [`vm`](lfi_vm), [`libc`](lfi_libc);
+//! * [`targets`](lfi_targets) — the BIND/MySQL/Git/PBFT/Apache analogues with
+//!   the paper's seeded bugs and workloads.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lfi::prelude::*;
+//!
+//! // The system under test: a program with an unchecked library call.
+//! let exe = lfi::cc::Compiler::new("demo", lfi::obj::ModuleKind::Executable)
+//!     .needs("libc")
+//!     .add_source(
+//!         "demo.c",
+//!         r#"
+//!         int main() {
+//!             int p = malloc(64);
+//!             *p = 42;              // no NULL check
+//!             return 0;
+//!         }
+//!         "#,
+//!     )
+//!     .compile()
+//!     .unwrap();
+//!
+//! // The LFI workflow: profile the library, find unchecked call sites,
+//! // generate a scenario, and run the test.
+//! let mut controller = Controller::new();
+//! controller.add_library(lfi::libc::build());
+//! let scenario = controller.generate_scenario(&exe, false);
+//! let report = controller
+//!     .run_test(&exe, &scenario, &mut RunToCompletion, &TestConfig::default())
+//!     .unwrap();
+//! assert!(report.outcome.is_crash());
+//! ```
+
+pub use lfi_analyzer as analyzer;
+pub use lfi_arch as arch;
+pub use lfi_asm as asm;
+pub use lfi_cc as cc;
+pub use lfi_core as core;
+pub use lfi_libc as libc;
+pub use lfi_obj as obj;
+pub use lfi_profiler as profiler;
+pub use lfi_targets as targets;
+pub use lfi_vm as vm;
+
+/// The most commonly used items, for `use lfi::prelude::*`.
+pub mod prelude {
+    pub use lfi_analyzer::{analyze_program, AnalysisConfig, CallSiteClass};
+    pub use lfi_core::{
+        Controller, FrameSpec, FunctionAssoc, InjectionEngine, RunToCompletion, Scenario,
+        TestConfig, TestOutcome, Trigger, TriggerCtx, TriggerDecl, TriggerRegistry, Workload,
+    };
+    pub use lfi_profiler::{profile_library, FaultProfile};
+    pub use lfi_vm::{HookAction, Machine, NetHandle, RunExit};
+}

@@ -1,0 +1,142 @@
+//! Property-based tests over the public tool-chain surface: arbitrary
+//! scenarios survive the XML roundtrip, arbitrary mini-C-shaped inputs never
+//! break the analyzer, and the analyzer's classification is consistent with
+//! the checks it reports.
+
+use std::collections::BTreeMap;
+
+use lfi::prelude::*;
+use proptest::prelude::*;
+
+fn arb_identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,10}".prop_map(|s| s)
+}
+
+fn arb_frame() -> impl Strategy<Value = FrameSpec> {
+    (
+        proptest::option::of(arb_identifier()),
+        proptest::option::of(0u64..10_000),
+        proptest::option::of(1u32..500),
+    )
+        .prop_map(|(module, offset, line)| FrameSpec {
+            module,
+            offset,
+            function: None,
+            file: line.map(|_| "src.c".to_string()),
+            line,
+        })
+}
+
+fn arb_trigger_decl(id: usize) -> impl Strategy<Value = TriggerDecl> {
+    (
+        prop_oneof![
+            Just("SingletonTrigger".to_string()),
+            Just("CallStackTrigger".to_string()),
+            Just("RandomTrigger".to_string()),
+            Just("CallCountTrigger".to_string()),
+        ],
+        proptest::collection::vec(arb_frame(), 0..3),
+        proptest::collection::btree_map(arb_identifier(), "[a-z0-9.]{1,8}", 0..3),
+    )
+        .prop_map(move |(class, frames, params)| {
+            let mut params: BTreeMap<String, String> = params;
+            // Keep required parameters present so the scenario stays valid.
+            if class == "RandomTrigger" {
+                params.insert("probability".into(), "0.5".into());
+            }
+            if class == "CallCountTrigger" {
+                params.insert("count".into(), "3".into());
+            }
+            TriggerDecl {
+                id: format!("t{id}"),
+                class,
+                params,
+                frames,
+            }
+        })
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..4)
+        .prop_flat_map(|n| {
+            let triggers: Vec<_> = (0..n).map(arb_trigger_decl).collect();
+            (
+                triggers,
+                proptest::collection::vec(
+                    (arb_identifier(), 0usize..4, -2i64..2, proptest::option::of(1i64..30)),
+                    1..4,
+                ),
+            )
+        })
+        .prop_map(|(triggers, funcs)| {
+            let ids: Vec<String> = triggers.iter().map(|t| t.id.clone()).collect();
+            let mut scenario = Scenario::new();
+            scenario.triggers = triggers;
+            for (i, (name, argc, retval, errno)) in funcs.into_iter().enumerate() {
+                scenario.functions.push(FunctionAssoc {
+                    function: name,
+                    argc,
+                    retval: Some(retval),
+                    errno,
+                    triggers: vec![ids[i % ids.len()].clone()],
+                });
+            }
+            scenario
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scenario_xml_roundtrip(scenario in arb_scenario()) {
+        prop_assert!(scenario.validate().is_ok());
+        let xml = scenario.to_xml();
+        let back = Scenario::parse_xml(&xml).expect("generated XML must parse");
+        prop_assert_eq!(back, scenario);
+    }
+
+    #[test]
+    fn xml_parser_never_panics(text in "\\PC{0,300}") {
+        let _ = lfi::core::parse_xml(&text);
+        let _ = lfi::core::parse_xml_fragments(&text);
+        let _ = Scenario::parse_xml(&text);
+    }
+
+    #[test]
+    fn analyzer_classification_is_consistent(check in proptest::bool::ANY, code in -3i64..3) {
+        // Build a tiny program whose single read() call either checks the
+        // return value against `code` or not at all; the analyzer must say
+        // "checked" iff a check against an error code exists.
+        let body = if check {
+            format!("int f() {{ int n = read(0, 0, 8); if (n == {code}) {{ return 1; }} return 0; }}")
+        } else {
+            "int f() { int n = read(0, 0, 8); return n + 1; }".to_string()
+        };
+        let module = lfi::cc::Compiler::new("p", lfi::obj::ModuleKind::SharedLib)
+            .add_source("p.c", &body)
+            .compile()
+            .expect("compile");
+        let report = lfi::analyzer::analyze_call_sites(&module, "read", &[-1], AnalysisConfig::default());
+        prop_assert_eq!(report.sites.len(), 1);
+        let expected_checked = check && code == -1;
+        prop_assert_eq!(
+            report.sites[0].class == CallSiteClass::Checked,
+            expected_checked
+        );
+    }
+
+    #[test]
+    fn compiled_arithmetic_matches_rust_semantics(a in -1000i64..1000, b in -1000i64..1000) {
+        let src = format!("int main() {{ return {a} * 3 + {b} - ({a} / 7); }}");
+        let exe = lfi::cc::Compiler::new("arith", lfi::obj::ModuleKind::Executable)
+            .add_source("a.c", &src)
+            .compile()
+            .expect("compile");
+        let image = lfi::vm::Loader::new().load(exe).expect("load");
+        let mut machine = lfi::vm::Machine::new(image, lfi::vm::ProcessConfig::default());
+        let exit = machine.run_to_completion(&mut lfi::vm::NoHooks);
+        let expected = a * 3 + b - (a / 7);
+        prop_assert_eq!(exit, RunExit::Exited(expected));
+    }
+}
