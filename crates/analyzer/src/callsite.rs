@@ -185,10 +185,8 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Accuracy as defined in §7.2 of the paper.
     pub fn accuracy(&self) -> f64 {
-        let total = self.true_positives
-            + self.true_negatives
-            + self.false_positives
-            + self.false_negatives;
+        let total =
+            self.true_positives + self.true_negatives + self.false_positives + self.false_negatives;
         if total == 0 {
             return 1.0;
         }

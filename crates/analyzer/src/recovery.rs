@@ -51,9 +51,7 @@ fn error_edge(
     let fall_through = jump_off + INSN_SIZE;
     let taken = *target as u64;
     // Does the branch get taken when the return value is an error code?
-    let taken_on_error = error_codes
-        .iter()
-        .any(|&e| cond.holds(e.cmp(&imm)));
+    let taken_on_error = error_codes.iter().any(|&e| cond.holds(e.cmp(&imm)));
     let taken_on_success = cond.holds(1.cmp(&imm)) || cond.holds(100.cmp(&imm));
     if taken_on_error && !taken_on_success {
         Some((taken, fall_through))
@@ -68,7 +66,11 @@ fn error_edge(
 
 /// Identify the recovery code downstream of every call site of the profiled
 /// library functions in `module`.
-pub fn recovery_offsets(module: &Module, profile: &FaultProfile, functions: &[String]) -> RecoveryMap {
+pub fn recovery_offsets(
+    module: &Module,
+    profile: &FaultProfile,
+    functions: &[String],
+) -> RecoveryMap {
     let mut map = RecoveryMap::default();
     for function in functions {
         let Some(func_profile) = profile.function(function) else {
@@ -93,8 +95,7 @@ pub fn recovery_offsets(module: &Module, profile: &FaultProfile, functions: &[St
                 if !summary.chk_eq.contains(imm) && !summary.chk_ineq.contains(imm) {
                     continue;
                 }
-                let Some((error_succ, ok_succ)) = error_edge(&cfg, off, *imm, &error_codes)
-                else {
+                let Some((error_succ, ok_succ)) = error_edge(&cfg, off, *imm, &error_codes) else {
                     continue;
                 };
                 let error_reachable = cfg.reachable_from(error_succ);
@@ -119,7 +120,6 @@ pub fn recovery_lines(
 ) -> BTreeSet<(String, u32)> {
     recovery_offsets(module, profile, functions).lines
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -158,7 +158,10 @@ mod tests {
         assert!(!map.offsets.is_empty(), "recovery block must be found");
         let lines: Vec<u32> = map.lines.iter().map(|(_, l)| *l).collect();
         // The recovery body spans lines 5-7 of the source above.
-        assert!(lines.iter().any(|l| (5..=7).contains(l)), "lines: {lines:?}");
+        assert!(
+            lines.iter().any(|l| (5..=7).contains(l)),
+            "lines: {lines:?}"
+        );
         // The success path (close on line 9) must not be classified as recovery.
         assert!(!lines.contains(&9), "lines: {lines:?}");
     }
@@ -194,6 +197,9 @@ mod tests {
         let map = recovery_offsets(&module, &libc_profile(), &["read".to_string()]);
         assert!(!map.offsets.is_empty());
         let lines: Vec<u32> = map.lines.iter().map(|(_, l)| *l).collect();
-        assert!(lines.iter().any(|l| (5..=6).contains(l)), "lines: {lines:?}");
+        assert!(
+            lines.iter().any(|l| (5..=6).contains(l)),
+            "lines: {lines:?}"
+        );
     }
 }

@@ -501,11 +501,15 @@ impl fmt::Display for Insn {
     }
 }
 
+/// Instructions decoded so far, plus the first decoding error (if any) with
+/// its offset.
+pub type DecodeAllResult = (Vec<(u64, Insn)>, Option<(u64, DecodeError)>);
+
 /// Decode an entire code section into `(offset, instruction)` pairs.
 ///
 /// Stops at the first decoding error, returning the instructions decoded so
 /// far along with the error offset.
-pub fn decode_all(code: &[u8]) -> (Vec<(u64, Insn)>, Option<(u64, DecodeError)>) {
+pub fn decode_all(code: &[u8]) -> DecodeAllResult {
     let mut out = Vec::with_capacity(code.len() / INSN_SIZE as usize);
     let mut off = 0u64;
     while (off as usize) < code.len() {

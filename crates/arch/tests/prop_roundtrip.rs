@@ -53,11 +53,7 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         arb_reg().prop_map(|src| Insn::Push { src }),
         arb_reg().prop_map(|dst| Insn::Pop { dst }),
         (arb_alu(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
-        (arb_alu(), arb_reg(), any::<i64>()).prop_map(|(op, dst, imm)| Insn::AluI {
-            op,
-            dst,
-            imm
-        }),
+        (arb_alu(), arb_reg(), any::<i64>()).prop_map(|(op, dst, imm)| Insn::AluI { op, dst, imm }),
         arb_reg().prop_map(|dst| Insn::Neg { dst }),
         arb_reg().prop_map(|dst| Insn::Not { dst }),
         (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::Cmp { a, b }),

@@ -210,7 +210,11 @@ impl AsmBuilder {
     /// of the same name so local calls can reach it directly.
     pub fn export_func(&mut self, name: impl Into<String>) -> &mut Self {
         let name = name.into();
-        if self.exports.iter().any(|e| e.name == name && e.kind == SymKind::Func) {
+        if self
+            .exports
+            .iter()
+            .any(|e| e.name == name && e.kind == SymKind::Func)
+        {
             self.errors.push(AsmError::DuplicateExport(name.clone()));
             return self;
         }
@@ -227,7 +231,7 @@ impl AsmBuilder {
     /// Append raw bytes to the data section, returning their offset.
     pub fn add_data(&mut self, bytes: &[u8]) -> u64 {
         // Keep words naturally aligned so data relocations stay simple.
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
         let off = self.data.len() as u64;
@@ -263,7 +267,11 @@ impl AsmBuilder {
     /// Export a data symbol at the given data/BSS offset.
     pub fn export_data(&mut self, name: impl Into<String>, offset: u64, size: u64) -> &mut Self {
         let name = name.into();
-        if self.exports.iter().any(|e| e.name == name && e.kind == SymKind::Data) {
+        if self
+            .exports
+            .iter()
+            .any(|e| e.name == name && e.kind == SymKind::Data)
+        {
             self.errors.push(AsmError::DuplicateExport(name));
             return self;
         }
@@ -381,11 +389,7 @@ impl AsmBuilder {
         };
         if errors.is_empty() {
             if let Err(verrs) = module.validate() {
-                errors.extend(
-                    verrs
-                        .into_iter()
-                        .map(|e| AsmError::Invalid(e.to_string())),
-                );
+                errors.extend(verrs.into_iter().map(|e| AsmError::Invalid(e.to_string())));
             }
         }
         if errors.is_empty() {
@@ -461,7 +465,9 @@ mod tests {
         b.emit(Insn::Ret);
         b.bind("f");
         let errs = b.finish().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, AsmError::DuplicateLabel(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, AsmError::DuplicateLabel(_))));
 
         let mut b = AsmBuilder::new("demo", ModuleKind::SharedLib);
         b.export_func("f");
@@ -505,7 +511,10 @@ mod tests {
         assert_eq!(w % 8, 0);
         assert!(bss >= module.data.len() as u64);
         assert_eq!(module.bss_size, 16); // rounded up to 8-byte multiple
-        assert_eq!(&module.data[w as usize..w as usize + 8], &1i64.to_le_bytes());
+        assert_eq!(
+            &module.data[w as usize..w as usize + 8],
+            &1i64.to_le_bytes()
+        );
     }
 
     #[test]

@@ -222,8 +222,7 @@ pub fn assemble_text(source: &str) -> Result<Module, TextAsmError> {
                     let name = parts
                         .next()
                         .ok_or_else(|| err(lineno, ".word needs a name"))?;
-                    let words: Result<Vec<Word>, _> =
-                        parts.map(|t| parse_imm(t, lineno)).collect();
+                    let words: Result<Vec<Word>, _> = parts.map(|t| parse_imm(t, lineno)).collect();
                     let words = words?;
                     let off = b.add_words(&words);
                     b.export_data(name, off, words.len() as u64 * 8);
@@ -441,14 +440,16 @@ pub fn assemble_text(source: &str) -> Result<Module, TextAsmError> {
     }
 
     let builder = builder.ok_or_else(|| err(0, "missing .module directive"))?;
-    builder.finish().map_err(|errors: Vec<AsmError>| TextAsmError {
-        line: 0,
-        message: errors
-            .iter()
-            .map(|e| e.to_string())
-            .collect::<Vec<_>>()
-            .join("; "),
-    })
+    builder
+        .finish()
+        .map_err(|errors: Vec<AsmError>| TextAsmError {
+            line: 0,
+            message: errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "),
+        })
 }
 
 #[cfg(test)]

@@ -21,8 +21,8 @@ fn httpd_run(scenario: &Scenario, requests: u64) {
 
 fn scenario_with_triggers(count: usize) -> Scenario {
     // Reuse the Table 5 trigger stack through the experiments module.
-    let sweep = lfi_bench::experiments::httpd_trigger_scenario(count);
-    sweep
+
+    lfi_bench::experiments::httpd_trigger_scenario(count)
 }
 
 fn bench_trigger_overhead(c: &mut Criterion) {

@@ -50,7 +50,11 @@ pub struct Table1 {
 impl fmt::Display for Table1 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Table 1: bugs found automatically (paper: 11 bugs)")?;
-        writeln!(f, "{:<22} {:<8} {:<12} {:<18} manifestation", "bug", "system", "injected", "caller")?;
+        writeln!(
+            f,
+            "{:<22} {:<8} {:<12} {:<18} manifestation",
+            "bug", "system", "injected", "caller"
+        )?;
         for bug in &self.found {
             writeln!(
                 f,
@@ -61,7 +65,13 @@ impl fmt::Display for Table1 {
         for missed in &self.missed {
             writeln!(f, "{missed:<22} NOT FOUND")?;
         }
-        writeln!(f, "found {}/{} known bugs in {} automated runs", self.found.len(), KNOWN_BUGS.len(), self.runs)
+        writeln!(
+            f,
+            "found {}/{} known bugs in {} automated runs",
+            self.found.len(),
+            KNOWN_BUGS.len(),
+            self.runs
+        )
     }
 }
 
@@ -88,8 +98,18 @@ fn record_crash_sites(
                 .unwrap_or_default();
             let caller_of_injection = record.call_site.clone();
             let caller_name = lookup_caller(&caller_of_injection);
-            let key = (function.to_string(), if caller_name.is_empty() { caller } else { caller_name });
-            crash_sites.entry(key).or_default().insert(record.call_site.1);
+            let key = (
+                function.to_string(),
+                if caller_name.is_empty() {
+                    caller
+                } else {
+                    caller_name
+                },
+            );
+            crash_sites
+                .entry(key)
+                .or_default()
+                .insert(record.call_site.1);
         }
     }
 }
@@ -128,13 +148,25 @@ pub fn table1_bugs() -> Table1 {
         let functions: Vec<String> = exe
             .imported_functions()
             .into_iter()
-            .filter(|f| profile.function(f).map(|p| !p.error_cases.is_empty()).unwrap_or(false))
+            .filter(|f| {
+                profile
+                    .function(f)
+                    .map(|p| !p.error_cases.is_empty())
+                    .unwrap_or(false)
+            })
             .collect();
         for (function, offset) in all_sites(&exe, &functions) {
             let scenario = single_site_scenario(target, &function, offset, &profile);
             for args in default_test_suite(target) {
                 runs += 1;
-                let report = run_target(target, &exe, &scenario, args.clone(), false, 7 + runs as u64);
+                let report = run_target(
+                    target,
+                    &exe,
+                    &scenario,
+                    args.clone(),
+                    false,
+                    7 + runs as u64,
+                );
                 record_crash_sites(&report, &function, &mut crash_sites);
                 // The Git data-loss bug: the commit succeeds but the record
                 // lacks its author after a failed (injected) setenv.
@@ -251,8 +283,16 @@ pub struct Table2 {
 
 impl fmt::Display for Table2 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 2: precision of triggers targeting the db-lite double-unlock bug ({} runs each)", self.repetitions)?;
-        writeln!(f, "{:<38} {:>10} {:>10}", "trigger scenario", "paper", "measured")?;
+        writeln!(
+            f,
+            "Table 2: precision of triggers targeting the db-lite double-unlock bug ({} runs each)",
+            self.repetitions
+        )?;
+        writeln!(
+            f,
+            "{:<38} {:>10} {:>10}",
+            "trigger scenario", "paper", "measured"
+        )?;
         for (label, paper, measured) in &self.rows {
             writeln!(f, "{label:<38} {paper:>10} {:>9.0}%", measured * 100.0)?;
         }
@@ -287,80 +327,86 @@ fn precision_of(make_scenario: &dyn Fn(u64) -> Scenario, repetitions: u64) -> f6
 pub fn table2_precision() -> Table2 {
     let repetitions = 100;
     // Scenario 1: random 10% injection into every close call.
-    let random = |seed: u64| Scenario::new()
-        .with_trigger(TriggerDecl {
-            id: "rnd".into(),
-            class: "RandomTrigger".into(),
-            params: BTreeMap::from([
-                ("probability".to_string(), "0.1".to_string()),
-                ("seed".to_string(), seed.to_string()),
-            ]),
-            frames: vec![],
-        })
-        .with_function(FunctionAssoc {
-            function: "close".into(),
-            argc: 1,
-            retval: Some(-1),
-            errno: Some(lfi_arch::errno::EIO),
-            triggers: vec!["rnd".into()],
-        });
+    let random = |seed: u64| {
+        Scenario::new()
+            .with_trigger(TriggerDecl {
+                id: "rnd".into(),
+                class: "RandomTrigger".into(),
+                params: BTreeMap::from([
+                    ("probability".to_string(), "0.1".to_string()),
+                    ("seed".to_string(), seed.to_string()),
+                ]),
+                frames: vec![],
+            })
+            .with_function(FunctionAssoc {
+                function: "close".into(),
+                argc: 1,
+                retval: Some(-1),
+                errno: Some(lfi_arch::errno::EIO),
+                triggers: vec!["rnd".into()],
+            })
+    };
     random(0).validate().unwrap();
 
     // Scenario 2: random 10%, but only for close calls made from mi_create
     // (the paper scoped the injection to the bug's source file).
-    let scoped = |seed: u64| Scenario::new()
-        .with_trigger(TriggerDecl {
-            id: "rnd".into(),
-            class: "RandomTrigger".into(),
-            params: BTreeMap::from([
-                ("probability".to_string(), "0.1".to_string()),
-                ("seed".to_string(), seed.to_string()),
-            ]),
-            frames: vec![],
-        })
-        .with_trigger(TriggerDecl {
-            id: "infile".into(),
-            class: "CallerFunctionTrigger".into(),
-            params: BTreeMap::from([
-                ("function".to_string(), "mi_create".to_string()),
-                ("anywhere".to_string(), "0".to_string()),
-            ]),
-            frames: vec![],
-        })
-        .with_function(FunctionAssoc {
-            function: "close".into(),
-            argc: 1,
-            retval: Some(-1),
-            errno: Some(lfi_arch::errno::EIO),
-            triggers: vec!["infile".into(), "rnd".into()],
-        });
+    let scoped = |seed: u64| {
+        Scenario::new()
+            .with_trigger(TriggerDecl {
+                id: "rnd".into(),
+                class: "RandomTrigger".into(),
+                params: BTreeMap::from([
+                    ("probability".to_string(), "0.1".to_string()),
+                    ("seed".to_string(), seed.to_string()),
+                ]),
+                frames: vec![],
+            })
+            .with_trigger(TriggerDecl {
+                id: "infile".into(),
+                class: "CallerFunctionTrigger".into(),
+                params: BTreeMap::from([
+                    ("function".to_string(), "mi_create".to_string()),
+                    ("anywhere".to_string(), "0".to_string()),
+                ]),
+                frames: vec![],
+            })
+            .with_function(FunctionAssoc {
+                function: "close".into(),
+                argc: 1,
+                retval: Some(-1),
+                errno: Some(lfi_arch::errno::EIO),
+                triggers: vec!["infile".into(), "rnd".into()],
+            })
+    };
     scoped(0).validate().unwrap();
 
     // Scenario 3: the custom "close shortly after a mutex unlock" trigger.
-    let proximity = |_seed: u64| Scenario::new()
-        .with_trigger(TriggerDecl {
-            id: "near_unlock".into(),
-            class: "ProximityTrigger".into(),
-            params: BTreeMap::from([
-                ("watch".to_string(), "pthread_mutex_unlock".to_string()),
-                ("distance".to_string(), "2".to_string()),
-            ]),
-            frames: vec![],
-        })
-        .with_function(FunctionAssoc {
-            function: "close".into(),
-            argc: 1,
-            retval: Some(-1),
-            errno: Some(lfi_arch::errno::EIO),
-            triggers: vec!["near_unlock".into()],
-        })
-        .with_function(FunctionAssoc {
-            function: "pthread_mutex_unlock".into(),
-            argc: 1,
-            retval: None,
-            errno: None,
-            triggers: vec!["near_unlock".into()],
-        });
+    let proximity = |_seed: u64| {
+        Scenario::new()
+            .with_trigger(TriggerDecl {
+                id: "near_unlock".into(),
+                class: "ProximityTrigger".into(),
+                params: BTreeMap::from([
+                    ("watch".to_string(), "pthread_mutex_unlock".to_string()),
+                    ("distance".to_string(), "2".to_string()),
+                ]),
+                frames: vec![],
+            })
+            .with_function(FunctionAssoc {
+                function: "close".into(),
+                argc: 1,
+                retval: Some(-1),
+                errno: Some(lfi_arch::errno::EIO),
+                triggers: vec!["near_unlock".into()],
+            })
+            .with_function(FunctionAssoc {
+                function: "pthread_mutex_unlock".into(),
+                argc: 1,
+                retval: None,
+                errno: None,
+                triggers: vec!["near_unlock".into()],
+            })
+    };
     proximity(0).validate().unwrap();
 
     Table2 {
@@ -435,7 +481,11 @@ impl fmt::Display for Table3 {
                 uncovered_before,
                 pct(newly as f64, uncovered_before as f64)
             )?;
-            writeln!(f, "  additional LOC covered by LFI:    {}", row.additional_lines)?;
+            writeln!(
+                f,
+                "  additional LOC covered by LFI:    {}",
+                row.additional_lines
+            )?;
             writeln!(
                 f,
                 "  total coverage without LFI:        {}",
@@ -553,8 +603,15 @@ impl Table4 {
 
 impl fmt::Display for Table4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 4: call-site analysis accuracy (paper: 83%-100% per row, 1 FP total)")?;
-        writeln!(f, "{:<12} {:<10} {:>7} {:>4} {:>4} {:>9}", "system", "function", "TP+TN", "FN", "FP", "accuracy")?;
+        writeln!(
+            f,
+            "Table 4: call-site analysis accuracy (paper: 83%-100% per row, 1 FP total)"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:<10} {:>7} {:>4} {:>4} {:>9}",
+            "system", "function", "TP+TN", "FN", "FP", "accuracy"
+        )?;
         for row in &self.rows {
             writeln!(
                 f,
@@ -567,7 +624,11 @@ impl fmt::Display for Table4 {
                 row.accuracy * 100.0
             )?;
         }
-        writeln!(f, "overall accuracy: {:.1}%", self.overall_accuracy() * 100.0)
+        writeln!(
+            f,
+            "overall accuracy: {:.1}%",
+            self.overall_accuracy() * 100.0
+        )
     }
 }
 
@@ -587,7 +648,8 @@ pub fn table4_accuracy() -> Table4 {
             .function(row.function)
             .map(|p| p.error_return_values())
             .unwrap_or_else(|| vec![-1]);
-        let report = analyze_call_sites(&exe, row.function, &error_codes, AnalysisConfig::default());
+        let report =
+            analyze_call_sites(&exe, row.function, &error_codes, AnalysisConfig::default());
         let mut correct = 0;
         let mut false_negatives = 0;
         let mut false_positives = 0;
@@ -682,7 +744,10 @@ pub fn httpd_trigger_scenario(trigger_count: usize) -> Scenario {
             class: "FdKindTrigger".into(),
             params: BTreeMap::from([
                 ("index".to_string(), "0".to_string()),
-                ("kind".to_string(), lfi_arch::abi::filekind::REGULAR.to_string()),
+                (
+                    "kind".to_string(),
+                    lfi_arch::abi::filekind::REGULAR.to_string(),
+                ),
             ]),
             frames: vec![],
         },
@@ -699,7 +764,10 @@ pub fn httpd_trigger_scenario(trigger_count: usize) -> Scenario {
             id: "t3".into(),
             class: "CallerFunctionTrigger".into(),
             params: BTreeMap::from([
-                ("function".to_string(), "ap_process_request_internal".to_string()),
+                (
+                    "function".to_string(),
+                    "ap_process_request_internal".to_string(),
+                ),
                 ("anywhere".to_string(), "1".to_string()),
             ]),
             frames: vec![],
@@ -762,7 +830,11 @@ pub fn table5_apache_overhead() -> OverheadSweep {
             let report = controller
                 .run_test(&exe, &scenario, &mut FsSetupWorkload, &config)
                 .expect("httpd run");
-            assert!(matches!(report.outcome, TestOutcome::Passed), "{}", report.output);
+            assert!(
+                matches!(report.outcome, TestOutcome::Passed),
+                "{}",
+                report.output
+            );
             values.push(report.virtual_time as f64 / 1000.0);
         }
         sweep.rows.push((count, values));
@@ -778,7 +850,10 @@ fn db_scenario(trigger_count: usize) -> Scenario {
             class: "ArgTrigger".into(),
             params: BTreeMap::from([
                 ("index".to_string(), "1".to_string()),
-                ("value".to_string(), lfi_arch::abi::fcntlcmd::GETLK.to_string()),
+                (
+                    "value".to_string(),
+                    lfi_arch::abi::fcntlcmd::GETLK.to_string(),
+                ),
             ]),
             frames: vec![],
         },
@@ -853,7 +928,11 @@ pub fn table6_mysql_overhead() -> OverheadSweep {
             let report = controller
                 .run_test(&exe, &scenario, &mut FsSetupWorkload, &config)
                 .expect("db run");
-            assert!(matches!(report.outcome, TestOutcome::Passed), "{}", report.output);
+            assert!(
+                matches!(report.outcome, TestOutcome::Passed),
+                "{}",
+                report.output
+            );
             values.push(txns as f64 * 1_000_000.0 / report.virtual_time as f64);
         }
         sweep.rows.push((count, values));
@@ -954,12 +1033,26 @@ pub struct DosStudy {
 
 impl fmt::Display for DosStudy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "DoS study (§7.3): bft-lite throughput under distributed-trigger attack schedules")?;
-        writeln!(f, "{:<40} {:>14} {:>12}", "scenario", "throughput", "vs baseline")?;
+        writeln!(
+            f,
+            "DoS study (§7.3): bft-lite throughput under distributed-trigger attack schedules"
+        )?;
+        writeln!(
+            f,
+            "{:<40} {:>14} {:>12}",
+            "scenario", "throughput", "vs baseline"
+        )?;
         for (label, throughput, change) in &self.rows {
-            writeln!(f, "{label:<40} {throughput:>14.2} {:>+11.1}%", change * 100.0)?;
+            writeln!(
+                f,
+                "{label:<40} {throughput:>14.2} {:>+11.1}%",
+                change * 100.0
+            )?;
         }
-        writeln!(f, "(paper: single-replica blackout +12%, rotating 500-fault bursts -2.2x)")
+        writeln!(
+            f,
+            "(paper: single-replica blackout +12%, rotating 500-fault bursts -2.2x)"
+        )
     }
 }
 
@@ -1007,12 +1100,30 @@ pub fn dos_study() -> DosStudy {
         },
         requests,
     );
-    let change = |v: f64| if baseline > 0.0 { v / baseline - 1.0 } else { 0.0 };
+    let change = |v: f64| {
+        if baseline > 0.0 {
+            v / baseline - 1.0
+        } else {
+            0.0
+        }
+    };
     DosStudy {
         rows: vec![
-            ("baseline (interception, no injection)".to_string(), baseline, 0.0),
-            ("blackout of one backup replica".to_string(), single, change(single)),
-            ("rotating 50-fault bursts across replicas".to_string(), rotating, change(rotating)),
+            (
+                "baseline (interception, no injection)".to_string(),
+                baseline,
+                0.0,
+            ),
+            (
+                "blackout of one backup replica".to_string(),
+                single,
+                change(single),
+            ),
+            (
+                "rotating 50-fault bursts across replicas".to_string(),
+                rotating,
+                change(rotating),
+            ),
         ],
     }
 }
@@ -1031,7 +1142,11 @@ pub struct AnalyzerEfficiency {
 impl fmt::Display for AnalyzerEfficiency {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Analyzer efficiency (§7.2; paper: 1-10 s per target)")?;
-        writeln!(f, "{:<12} {:>12} {:>12}", "target", "call sites", "time (ms)")?;
+        writeln!(
+            f,
+            "{:<12} {:>12} {:>12}",
+            "target", "call sites", "time (ms)"
+        )?;
         for (target, sites, ms) in &self.rows {
             writeln!(f, "{target:<12} {sites:>12} {ms:>12.2}")?;
         }

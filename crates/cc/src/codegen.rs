@@ -530,12 +530,7 @@ impl<'a> FuncGen<'a> {
     }
 
     /// Evaluate a comparison's operands and set the machine flags.
-    fn gen_compare_flags(
-        &mut self,
-        lhs: &Expr,
-        rhs: &Expr,
-        line: u32,
-    ) -> Result<(), CompileError> {
+    fn gen_compare_flags(&mut self, lhs: &Expr, rhs: &Expr, line: u32) -> Result<(), CompileError> {
         // Fold a constant right-hand side (including named constants) into a
         // `cmpi`, which is both what a real compiler does and the pattern the
         // call-site analyzer classifies.
@@ -583,18 +578,12 @@ impl<'a> FuncGen<'a> {
                 expr,
             } => {
                 self.gen_expr(expr, line)?;
-                self.builder.emit(Insn::CmpI {
-                    a: RESULT,
-                    imm: 0,
-                });
+                self.builder.emit(Insn::CmpI { a: RESULT, imm: 0 });
                 self.builder.j(Cond::Ne, target);
             }
             other => {
                 self.gen_expr(other, line)?;
-                self.builder.emit(Insn::CmpI {
-                    a: RESULT,
-                    imm: 0,
-                });
+                self.builder.emit(Insn::CmpI { a: RESULT, imm: 0 });
                 self.builder.j(Cond::Eq, target);
             }
         }
@@ -686,10 +675,7 @@ impl<'a> FuncGen<'a> {
                     self.gen_expr(expr, line)?;
                     let one = self.fresh_label("one");
                     let end = self.fresh_label("end");
-                    self.builder.emit(Insn::CmpI {
-                        a: RESULT,
-                        imm: 0,
-                    });
+                    self.builder.emit(Insn::CmpI { a: RESULT, imm: 0 });
                     self.builder.j(Cond::Eq, one.clone());
                     self.builder.emit(Insn::MovI {
                         dst: RESULT,
@@ -832,10 +818,7 @@ impl<'a> FuncGen<'a> {
             let short = self.fresh_label("short");
             let end = self.fresh_label("logic_end");
             self.gen_expr(lhs, line)?;
-            self.builder.emit(Insn::CmpI {
-                a: RESULT,
-                imm: 0,
-            });
+            self.builder.emit(Insn::CmpI { a: RESULT, imm: 0 });
             match op {
                 BinOp::LogAnd => self.builder.j(Cond::Eq, short.clone()),
                 BinOp::LogOr => self.builder.j(Cond::Ne, short.clone()),
@@ -843,10 +826,7 @@ impl<'a> FuncGen<'a> {
             };
             // Left side did not decide the result; the right side does.
             self.gen_expr(rhs, line)?;
-            self.builder.emit(Insn::CmpI {
-                a: RESULT,
-                imm: 0,
-            });
+            self.builder.emit(Insn::CmpI { a: RESULT, imm: 0 });
             let yes = self.fresh_label("logic_one");
             self.builder.j(Cond::Ne, yes.clone());
             self.builder.emit(Insn::MovI {
@@ -926,9 +906,7 @@ impl<'a> FuncGen<'a> {
                     self.builder.emit(Insn::Push { src: RESULT });
                 }
                 for i in (0..rest.len()).rev() {
-                    self.builder.emit(Insn::Pop {
-                        dst: Reg::ARGS[i],
-                    });
+                    self.builder.emit(Insn::Pop { dst: Reg::ARGS[i] });
                 }
                 self.builder.emit(Insn::Sys { num });
                 return Ok(());
@@ -977,9 +955,7 @@ impl<'a> FuncGen<'a> {
             self.builder.emit(Insn::Push { src: RESULT });
         }
         for i in (0..args.len()).rev() {
-            self.builder.emit(Insn::Pop {
-                dst: Reg::ARGS[i],
-            });
+            self.builder.emit(Insn::Pop { dst: Reg::ARGS[i] });
         }
         if self.ctx.defined_funcs.contains_key(name) {
             // Defined in this module: a direct call, not interposable —
@@ -1083,7 +1059,9 @@ mod tests {
 
     #[test]
     fn globals_are_exported_data_symbols() {
-        let m = compile("int counter = 7;\nint table[4];\nint f() { counter = counter + 1; return table[0]; }");
+        let m = compile(
+            "int counter = 7;\nint table[4];\nint f() { counter = counter + 1; return table[0]; }",
+        );
         assert!(m.export("counter", lfi_obj::SymKind::Data).is_some());
         assert!(m.export("table", lfi_obj::SymKind::Data).is_some());
         // Initialized value is in the data section.

@@ -208,7 +208,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex("t.c", src).unwrap().into_iter().map(|t| t.kind).collect()
+        lex("t.c", src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

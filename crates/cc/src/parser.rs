@@ -282,11 +282,7 @@ impl Parser {
         self.logical_or()
     }
 
-    fn binary_level<F>(
-        &mut self,
-        ops: &[(&str, BinOp)],
-        mut next: F,
-    ) -> Result<Expr, CompileError>
+    fn binary_level<F>(&mut self, ops: &[(&str, BinOp)], mut next: F) -> Result<Expr, CompileError>
     where
         F: FnMut(&mut Self) -> Result<Expr, CompileError>,
     {
@@ -465,11 +461,7 @@ impl Parser {
                     BinOp::Xor => a ^ b,
                     BinOp::Shl => a.wrapping_shl(b as u32),
                     BinOp::Shr => a.wrapping_shr(b as u32),
-                    _ => {
-                        return Err(
-                            self.err("operator not allowed in constant expression")
-                        )
-                    }
+                    _ => return Err(self.err("operator not allowed in constant expression")),
                 })
             }
             _ => Err(self.err("expression is not constant")),
@@ -488,10 +480,8 @@ mod tests {
 
     #[test]
     fn parses_globals_consts_and_arrays() {
-        let p = parse_src(
-            "const MAX = 4 * 8;\nint counter = 2;\nint table[MAX];\nint bare;\n",
-        )
-        .unwrap();
+        let p = parse_src("const MAX = 4 * 8;\nint counter = 2;\nint table[MAX];\nint bare;\n")
+            .unwrap();
         assert_eq!(
             p.items[0],
             Item::Const {
@@ -553,13 +543,7 @@ mod tests {
             panic!()
         };
         // Top node must be the comparison.
-        assert!(matches!(
-            e,
-            Expr::Binary {
-                op: BinOp::Eq,
-                ..
-            }
-        ));
+        assert!(matches!(e, Expr::Binary { op: BinOp::Eq, .. }));
     }
 
     #[test]
@@ -636,8 +620,8 @@ mod tests {
 
     #[test]
     fn static_functions_are_marked() {
-        let p = parse_src("static int helper() { return 1; } int main() { return helper(); }")
-            .unwrap();
+        let p =
+            parse_src("static int helper() { return 1; } int main() { return helper(); }").unwrap();
         let Item::Func(f) = &p.items[0] else { panic!() };
         assert!(f.is_static);
         let Item::Func(m) = &p.items[1] else { panic!() };

@@ -57,12 +57,57 @@ impl InjectionLog {
 
     /// Injections performed on a given function.
     pub fn injections_into(&self, function: &str) -> usize {
-        self.records.iter().filter(|r| r.function == function).count()
+        self.records
+            .iter()
+            .filter(|r| r.function == function)
+            .count()
     }
 
     /// Serialize the log as pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("log serialization cannot fail")
+        use lfi_json::Value;
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                Value::Obj(vec![
+                    ("function".to_string(), Value::Str(r.function.clone())),
+                    ("retval".to_string(), Value::Int(r.retval)),
+                    ("errno".to_string(), r.errno.map_or(Value::Null, Value::Int)),
+                    ("call_count".to_string(), Value::Int(r.call_count as i64)),
+                    (
+                        "call_site".to_string(),
+                        Value::Arr(vec![
+                            Value::Str(r.call_site.0.clone()),
+                            Value::Int(r.call_site.1 as i64),
+                        ]),
+                    ),
+                    (
+                        "source".to_string(),
+                        r.source.as_ref().map_or(Value::Null, |(file, line)| {
+                            Value::Arr(vec![Value::Str(file.clone()), Value::Int(i64::from(*line))])
+                        }),
+                    ),
+                    (
+                        "triggers".to_string(),
+                        Value::Arr(r.triggers.iter().cloned().map(Value::Str).collect()),
+                    ),
+                    ("clock".to_string(), Value::Int(r.clock as i64)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("records".to_string(), Value::Arr(records)),
+            (
+                "interceptions".to_string(),
+                Value::Int(self.interceptions as i64),
+            ),
+            (
+                "trigger_evaluations".to_string(),
+                Value::Int(self.trigger_evaluations as i64),
+            ),
+        ])
+        .to_pretty()
     }
 }
 

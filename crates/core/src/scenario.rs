@@ -11,8 +11,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use lfi_arch::{errno as errno_tbl, Word};
 use lfi_analyzer::{CallSiteClass, CallSiteReport};
+use lfi_arch::{errno as errno_tbl, Word};
 use lfi_profiler::FaultProfile;
 use serde::{Deserialize, Serialize};
 
@@ -252,7 +252,9 @@ impl Scenario {
             match assoc.errno {
                 Some(v) => node.attrs.push((
                     "errno".into(),
-                    errno_tbl::name(v).map(str::to_string).unwrap_or(v.to_string()),
+                    errno_tbl::name(v)
+                        .map(str::to_string)
+                        .unwrap_or(v.to_string()),
                 )),
                 None => node.attrs.push(("errno".into(), "unused".into())),
             }

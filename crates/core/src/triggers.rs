@@ -85,10 +85,7 @@ fn param<T: std::str::FromStr>(decl: &TriggerDecl, key: &str) -> Option<T> {
     decl.params.get(key).and_then(|v| v.trim().parse().ok())
 }
 
-fn require<T: std::str::FromStr>(
-    decl: &TriggerDecl,
-    key: &str,
-) -> Result<T, TriggerBuildError> {
+fn require<T: std::str::FromStr>(decl: &TriggerDecl, key: &str) -> Result<T, TriggerBuildError> {
     param(decl, key).ok_or_else(|| TriggerBuildError {
         class: decl.class.clone(),
         message: format!("missing or invalid parameter `{key}`"),
@@ -150,9 +147,7 @@ impl TriggerRegistry {
             let kind: Word = require(decl, "kind")?;
             Ok(Box::new(FdKindTrigger { index, kind }))
         });
-        registry.register("WithMutexTrigger", |_| {
-            Ok(Box::new(WithMutexTrigger))
-        });
+        registry.register("WithMutexTrigger", |_| Ok(Box::new(WithMutexTrigger)));
         registry.register("CallerFunctionTrigger", |decl| {
             let function: String = require(decl, "function")?;
             let anywhere = param(decl, "anywhere").unwrap_or(1i64) != 0;
@@ -477,10 +472,7 @@ impl DistributedController {
             DistributedPolicy::TargetNode { node: victim } => node == *victim,
             DistributedPolicy::GlobalRandom { probability } => {
                 let p = probability.clamp(0.0, 1.0);
-                p > 0.0 && {
-                    let roll = state.rng.gen_bool(p);
-                    roll
-                }
+                p > 0.0 && { state.rng.gen_bool(p) }
             }
             DistributedPolicy::RotatingBursts { nodes, burst } => {
                 if nodes.is_empty() || *burst == 0 {
@@ -528,7 +520,8 @@ pub struct DistributedTrigger {
 
 impl Trigger for DistributedTrigger {
     fn eval(&mut self, ctx: &mut TriggerCtx<'_, '_>) -> bool {
-        self.controller.should_fire(ctx.call.node_id(), ctx.function)
+        self.controller
+            .should_fire(ctx.call.node_id(), ctx.function)
     }
 }
 

@@ -208,8 +208,7 @@ impl<'a> Parser<'a> {
                     if self.pos >= self.text.len() {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
                     self.pos += 1;
                     node.attrs.push((key, unescape(&value)));
                 }
@@ -293,7 +292,8 @@ pub fn parse_xml(text: &str) -> Result<XmlNode, XmlError> {
 /// are wrapped in a synthetic `<scenario>` root if needed.
 pub fn parse_xml_fragments(text: &str) -> Result<XmlNode, XmlError> {
     let trimmed = text.trim_start();
-    if trimmed.starts_with("<scenario") || trimmed.starts_with("<?xml") && text.contains("<scenario")
+    if trimmed.starts_with("<scenario")
+        || trimmed.starts_with("<?xml") && text.contains("<scenario")
     {
         return parse_xml(text);
     }
@@ -354,10 +354,7 @@ mod tests {
         assert_eq!(root.children.len(), 2);
         assert_eq!(root.children[0].name, "trigger");
         assert_eq!(root.children[1].attr("errno"), Some("EINVAL"));
-        assert_eq!(
-            root.children[1].children_named("reftrigger").count(),
-            1
-        );
+        assert_eq!(root.children[1].children_named("reftrigger").count(), 1);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! Unit tests for the XML layer backing the scenario language:
+//! `parse_xml`, `parse_xml_fragments`, and the `to_xml` round trip.
+
+use lfi_core::{parse_xml, parse_xml_fragments, XmlNode};
+
+#[test]
+fn well_formed_scenario_documents_parse_fully() {
+    let doc = r#"
+        <?xml version="1.0"?>
+        <!-- the paper's running example -->
+        <scenario>
+            <trigger id="readTrig" class="CallCountTrigger">
+                <args>
+                    <count>3</count>
+                </args>
+            </trigger>
+            <function name="read" argc="3" return="-1" errno="EINTR">
+                <reftrigger ref="readTrig" />
+            </function>
+        </scenario>
+    "#;
+    let root = parse_xml(doc).unwrap();
+    assert_eq!(root.name, "scenario");
+    assert_eq!(root.children.len(), 2);
+    let trigger = root.child("trigger").unwrap();
+    assert_eq!(trigger.attr("id"), Some("readTrig"));
+    assert_eq!(
+        trigger.child("args").unwrap().child_text("count"),
+        Some("3")
+    );
+    let function = root.child("function").unwrap();
+    assert_eq!(function.attr("errno"), Some("EINTR"));
+    assert_eq!(function.children_named("reftrigger").count(), 1);
+}
+
+#[test]
+fn text_and_children_can_mix_inside_an_element() {
+    let node = parse_xml("<p>before <b>bold</b> after</p>").unwrap();
+    assert_eq!(node.text, "before after");
+    assert_eq!(node.child("b").unwrap().text, "bold");
+}
+
+#[test]
+fn single_and_double_quoted_attributes_are_equivalent() {
+    let a = parse_xml(r#"<t k="v" />"#).unwrap();
+    let b = parse_xml("<t k='v' />").unwrap();
+    assert_eq!(a.attr("k"), b.attr("k"));
+}
+
+#[test]
+fn malformed_documents_report_errors_not_panics() {
+    // Each input exercises a distinct parser error path.
+    let cases = [
+        ("", "empty input"),
+        ("plain text", "no element"),
+        ("<", "name after `<`"),
+        ("<a", "unterminated element"),
+        ("<a b></a>", "attribute without value"),
+        ("<a b=c></a>", "unquoted attribute"),
+        ("<a b=\"c></a>", "unterminated attribute value"),
+        ("<a><b></c></a>", "mismatched closing tag"),
+        ("<a><b></a>", "closing the wrong element"),
+        ("<a><!-- no end", "unterminated comment inside content"),
+        ("<a>text", "missing closing tag"),
+    ];
+    for (doc, what) in cases {
+        assert!(parse_xml(doc).is_err(), "{what}: {doc:?} must be rejected");
+    }
+}
+
+#[test]
+fn error_positions_point_into_the_input() {
+    let err = parse_xml("<a foo=bar></a>").unwrap_err();
+    assert!(err.position > 0 && err.position < 16);
+    assert!(err.to_string().contains("quoted"));
+}
+
+#[test]
+fn fragments_are_wrapped_in_a_synthetic_scenario_root() {
+    let doc = r#"
+        <trigger id="a" class="SingletonTrigger" />
+        <trigger id="b" class="RandomTrigger"><args><probability>0.5</probability></args></trigger>
+        <function name="close" return="-1" errno="EIO"><reftrigger ref="a" /></function>
+    "#;
+    let root = parse_xml_fragments(doc).unwrap();
+    assert_eq!(root.name, "scenario");
+    assert_eq!(root.children.len(), 3);
+    assert_eq!(root.children[0].attr("id"), Some("a"));
+    assert_eq!(root.children[2].name, "function");
+}
+
+#[test]
+fn an_explicit_scenario_root_is_not_double_wrapped() {
+    let root = parse_xml_fragments("<scenario><trigger id='x' class='C' /></scenario>").unwrap();
+    assert_eq!(root.name, "scenario");
+    assert_eq!(root.children.len(), 1);
+    assert_eq!(root.children[0].name, "trigger");
+}
+
+#[test]
+fn fragment_round_trip_preserves_structure() {
+    let doc = r#"
+        <trigger id="t1" class="CallStackTrigger">
+            <args>
+                <frame>
+                    <module>bind-lite</module>
+                    <offset>54a69</offset>
+                </frame>
+            </args>
+        </trigger>
+        <function name="open" argc="3" return="-1" errno="ENOENT">
+            <reftrigger ref="t1" />
+        </function>
+    "#;
+    let root = parse_xml_fragments(doc).unwrap();
+    let rendered = root.to_xml();
+    let back = parse_xml(&rendered).unwrap();
+    assert_eq!(back, root);
+}
+
+#[test]
+fn escaped_entities_survive_a_round_trip() {
+    let original = XmlNode {
+        name: "v".into(),
+        attrs: vec![("expr".into(), "a < b && c > \"d\"".into())],
+        text: "x & y < z".into(),
+        children: vec![],
+    };
+    let rendered = original.to_xml();
+    let back = parse_xml(&rendered).unwrap();
+    assert_eq!(back, original);
+}
+
+#[test]
+fn comments_and_declarations_are_skipped_between_fragments() {
+    let doc = r#"
+        <?xml version="1.0"?>
+        <!-- first -->
+        <a />
+        <!-- second -->
+        <b />
+    "#;
+    let root = parse_xml_fragments(doc).unwrap();
+    assert_eq!(root.children.len(), 2);
+    assert_eq!(root.children[0].name, "a");
+    assert_eq!(root.children[1].name, "b");
+}
+
+#[test]
+fn fragments_with_malformed_tail_are_rejected() {
+    assert!(parse_xml_fragments("<a /> <b").is_err());
+    assert!(parse_xml_fragments("<a /> junk").is_err());
+}

@@ -1,0 +1,182 @@
+// File-descriptor I/O wrappers. The kernel boundary (__sys) reports failures
+// as negative errno values; each wrapper translates them into the C
+// convention of -1 (or NULL) plus errno, one explicit branch per errno so
+// the profiler sees a `cmpi` against each error constant.
+
+int open(int path, int flags, int mode) {
+    int fd = __sys(SYS_OPEN, path, flags, mode);
+    if (fd >= 0) { return fd; }
+    if (fd == -ENOENT) { errno = ENOENT; return -1; }
+    if (fd == -EISDIR) { errno = EISDIR; return -1; }
+    if (fd == -EACCES) { errno = EACCES; return -1; }
+    if (fd == -EMFILE) { errno = EMFILE; return -1; }
+    if (fd == -EIO) { errno = EIO; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int close(int fd) {
+    int r = __sys(SYS_CLOSE, fd);
+    if (r >= 0) { return 0; }
+    errno = EBADF;
+    return -1;
+}
+
+int read(int fd, int buf, int count) {
+    int r = __sys(SYS_READ, fd, buf, count);
+    if (r >= 0) { return r; }
+    if (r == -EINTR) { errno = EINTR; return -1; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    if (r == -EISDIR) { errno = EISDIR; return -1; }
+    if (r == -EAGAIN) { errno = EAGAIN; return -1; }
+    if (r == -EIO) { errno = EIO; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int write(int fd, int buf, int count) {
+    int r = __sys(SYS_WRITE, fd, buf, count);
+    if (r >= 0) { return r; }
+    if (r == -EINTR) { errno = EINTR; return -1; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    if (r == -EISDIR) { errno = EISDIR; return -1; }
+    if (r == -ENOSPC) { errno = ENOSPC; return -1; }
+    if (r == -EPIPE) { errno = EPIPE; return -1; }
+    if (r == -EIO) { errno = EIO; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int lseek(int fd, int offset, int whence) {
+    int r = __sys(SYS_LSEEK, fd, offset, whence);
+    if (r >= 0) { return r; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int fstat(int fd, int buf) {
+    int r = __sys(SYS_FSTAT, fd, buf);
+    if (r >= 0) { return 0; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int stat(int path, int buf) {
+    int r = __sys(SYS_STAT, path, buf);
+    if (r >= 0) { return 0; }
+    if (r == -ENOENT) { errno = ENOENT; return -1; }
+    if (r == -ENOTDIR) { errno = ENOTDIR; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int unlink(int path) {
+    int r = __sys(SYS_UNLINK, path);
+    if (r >= 0) { return 0; }
+    if (r == -ENOENT) { errno = ENOENT; return -1; }
+    if (r == -EISDIR) { errno = EISDIR; return -1; }
+    if (r == -EACCES) { errno = EACCES; return -1; }
+    if (r == -EBUSY) { errno = EBUSY; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int mkdir(int path, int mode) {
+    int r = __sys(SYS_MKDIR, path);
+    if (r >= 0) { return 0; }
+    if (r == -EEXIST) { errno = EEXIST; return -1; }
+    if (r == -ENOENT) { errno = ENOENT; return -1; }
+    if (r == -ENOTDIR) { errno = ENOTDIR; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int rename(int old, int new) {
+    int r = __sys(SYS_RENAME, old, new);
+    if (r >= 0) { return 0; }
+    if (r == -ENOENT) { errno = ENOENT; return -1; }
+    if (r == -EISDIR) { errno = EISDIR; return -1; }
+    if (r == -EACCES) { errno = EACCES; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int readlink(int path, int buf, int cap) {
+    int r = __sys(SYS_READLINK, path, buf, cap);
+    if (r >= 0) { return r; }
+    if (r == -ENOENT) { errno = ENOENT; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int symlink(int target, int link) {
+    int r = __sys(SYS_SYMLINK, target, link);
+    if (r >= 0) { return 0; }
+    if (r == -EEXIST) { errno = EEXIST; return -1; }
+    if (r == -ENOENT) { errno = ENOENT; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int truncate(int path, int length) {
+    int r = __sys(SYS_TRUNCATE, path, length);
+    if (r >= 0) { return 0; }
+    if (r == -ENOENT) { errno = ENOENT; return -1; }
+    if (r == -EIO) { errno = EIO; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int fcntl(int fd, int cmd, int arg) {
+    int r = __sys(SYS_FCNTL, fd, cmd, arg);
+    if (r >= 0) { return r; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    if (r == -EACCES) { errno = EACCES; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+// Directory streams: a DIR* is a heap cell holding the directory fd, so a
+// NULL DIR* dereference faults exactly like glibc's readdir(NULL) — the
+// unchecked-opendir pattern of the Git bug study.
+
+int __dirent[40];
+
+int opendir(int path) {
+    int d = __sys(SYS_OPENDIR, path);
+    if (d >= 0) {
+        int dirp = malloc(8);
+        if (dirp == 0) { errno = ENOMEM; return 0; }
+        *dirp = d;
+        return dirp;
+    }
+    if (d == -ENOENT) { errno = ENOENT; return 0; }
+    if (d == -ENOTDIR) { errno = ENOTDIR; return 0; }
+    if (d == -EACCES) { errno = EACCES; return 0; }
+    if (d == -EMFILE) { errno = EMFILE; return 0; }
+    errno = EINVAL;
+    return 0;
+}
+
+// Returns a pointer to the next entry name, or NULL at end of stream.
+int readdir(int dirp) {
+    int fd = *dirp;
+    int r = __sys(SYS_READDIR, fd, __dirent, 256);
+    if (r > 0) { return __dirent; }
+    if (r == 0) { return 0; }
+    if (r == -EBADF) { errno = EBADF; return 0; }
+    if (r == -ENOTDIR) { errno = ENOTDIR; return 0; }
+    errno = EINVAL;
+    return 0;
+}
+
+int closedir(int dirp) {
+    int fd = *dirp;
+    int r = __sys(SYS_CLOSEDIR, fd);
+    free(dirp);
+    if (r >= 0) { return 0; }
+    errno = EBADF;
+    return -1;
+}

@@ -1,0 +1,48 @@
+// Memory management over the VM's sbrk heap. Fresh sbrk pages are
+// zero-filled, so malloc/calloc both hand out zeroed blocks. Every error
+// path sets an explicit errno constant right before the constant return
+// value so the LFI profiler can recover the fault profile from the binary.
+
+int malloc(int size) {
+    if (size < 0) { errno = EINVAL; return 0; }
+    int need = ((size + 7) / 8) * 8;
+    if (need == 0) { need = 8; }
+    int p = __sys(SYS_SBRK, need);
+    if (p > 0) { return p; }
+    errno = ENOMEM;
+    return 0;
+}
+
+int calloc(int count, int size) {
+    if (count < 0 || size < 0) { errno = EINVAL; return 0; }
+    int need = ((count * size + 7) / 8) * 8;
+    if (need == 0) { need = 8; }
+    int p = __sys(SYS_SBRK, need);
+    if (p > 0) { return p; }
+    errno = ENOMEM;
+    return 0;
+}
+
+// The bump allocator never reuses blocks; free is a no-op, like the
+// original LFI's preload shim which leaves allocation policy to the app.
+int free(int p) {
+    return 0;
+}
+
+int memset(int p, int value, int n) {
+    int i = 0;
+    while (i < n) {
+        __store8(p + i, value);
+        i = i + 1;
+    }
+    return p;
+}
+
+int memcpy(int dst, int src, int n) {
+    int i = 0;
+    while (i < n) {
+        __store8(dst + i, __load8(src + i));
+        i = i + 1;
+    }
+    return dst;
+}

@@ -1,0 +1,38 @@
+// Datagram sockets over the VM's simulated network. Addresses are
+// (node, port) pairs; recvfrom is non-blocking and reports EAGAIN when no
+// datagram is queued, which is what the PBFT replicas poll on.
+
+int socket(int domain, int type, int protocol) {
+    int s = __sys(SYS_SOCKET);
+    if (s >= 0) { return s; }
+    errno = EMFILE;
+    return -1;
+}
+
+int bind(int s, int port) {
+    int r = __sys(SYS_BIND, s, port);
+    if (r >= 0) { return 0; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int sendto(int s, int buf, int len, int node, int port) {
+    int r = __sys(SYS_SENDTO, s, buf, len, node, port);
+    if (r >= 0) { return r; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    if (r == -ECONNREFUSED) { errno = ECONNREFUSED; return -1; }
+    if (r == -EMSGSIZE) { errno = EMSGSIZE; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int recvfrom(int s, int buf, int cap, int srcinfo) {
+    int r = __sys(SYS_RECVFROM, s, buf, cap, srcinfo);
+    if (r >= 0) { return r; }
+    if (r == -EAGAIN) { errno = EAGAIN; return -1; }
+    if (r == -EBADF) { errno = EBADF; return -1; }
+    if (r == -ECONNREFUSED) { errno = ECONNREFUSED; return -1; }
+    errno = EINVAL;
+    return -1;
+}

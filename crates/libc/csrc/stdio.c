@@ -1,0 +1,81 @@
+// Buffered-file facade. A FILE* is a heap cell holding the underlying fd,
+// so fwrite/fread on a NULL FILE* fault with a null dereference — the
+// crash mode of the PBFT unchecked-fopen bug reproduced in the paper.
+
+int fopen(int path, int mode) {
+    int m = __load8(mode);
+    int flags = O_RDONLY;
+    if (m == 'w') { flags = O_WRONLY | O_CREAT | O_TRUNC; }
+    if (m == 'a') { flags = O_WRONLY | O_CREAT | O_APPEND; }
+    int fd = __sys(SYS_OPEN, path, flags, 0);
+    if (fd >= 0) {
+        int f = malloc(8);
+        if (f == 0) { errno = ENOMEM; return 0; }
+        *f = fd;
+        return f;
+    }
+    if (fd == -ENOENT) { errno = ENOENT; return 0; }
+    if (fd == -EISDIR) { errno = EISDIR; return 0; }
+    if (fd == -EACCES) { errno = EACCES; return 0; }
+    if (fd == -EMFILE) { errno = EMFILE; return 0; }
+    errno = EINVAL;
+    return 0;
+}
+
+int fclose(int f) {
+    int fd = *f;
+    int r = __sys(SYS_CLOSE, fd);
+    free(f);
+    if (r >= 0) { return 0; }
+    errno = EBADF;
+    return -1;
+}
+
+// Returns the number of items read, like C fread.
+int fread(int buf, int size, int nmemb, int f) {
+    int fd = *f;
+    int r = __sys(SYS_READ, fd, buf, size * nmemb);
+    if (r >= 0) {
+        if (size == 0) { return 0; }
+        return r / size;
+    }
+    if (r == -EBADF) { errno = EBADF; return 0; }
+    if (r == -EIO) { errno = EIO; return 0; }
+    errno = EINVAL;
+    return 0;
+}
+
+// Returns the number of items written, like C fwrite.
+int fwrite(int buf, int size, int nmemb, int f) {
+    int fd = *f;
+    int r = __sys(SYS_WRITE, fd, buf, size * nmemb);
+    if (r >= 0) {
+        if (size == 0) { return 0; }
+        return r / size;
+    }
+    if (r == -EBADF) { errno = EBADF; return 0; }
+    if (r == -ENOSPC) { errno = ENOSPC; return 0; }
+    if (r == -EIO) { errno = EIO; return 0; }
+    errno = EINVAL;
+    return 0;
+}
+
+// Write a NUL-terminated string to stdout.
+int print(int s) {
+    __sys(SYS_WRITE, STDOUT, s, strlen(s));
+    return 0;
+}
+
+int puts(int s) {
+    print(s);
+    print("\n");
+    return 0;
+}
+
+// Print an integer in decimal followed by nothing (compose with print).
+int print_num(int value) {
+    int buf[4];
+    itoa(value, buf);
+    print(buf);
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Byte-string routines. Strings are NUL-terminated byte sequences addressed
+// with __load8/__store8; pointers are plain integers.
+
+int strlen(int s) {
+    int n = 0;
+    while (__load8(s + n) != 0) {
+        n = n + 1;
+    }
+    return n;
+}
+
+int strcpy(int dst, int src) {
+    int i = 0;
+    while (__load8(src + i) != 0) {
+        __store8(dst + i, __load8(src + i));
+        i = i + 1;
+    }
+    __store8(dst + i, 0);
+    return dst;
+}
+
+int strcat(int dst, int src) {
+    strcpy(dst + strlen(dst), src);
+    return dst;
+}
+
+int strcmp(int a, int b) {
+    int i = 0;
+    while (1) {
+        int ca = __load8(a + i);
+        int cb = __load8(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int strncmp(int a, int b, int n) {
+    int i = 0;
+    while (i < n) {
+        int ca = __load8(a + i);
+        int cb = __load8(b + i);
+        if (ca != cb) { return ca - cb; }
+        if (ca == 0) { return 0; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int atoi(int s) {
+    int i = 0;
+    int sign = 1;
+    int value = 0;
+    if (__load8(s) == '-') {
+        sign = -1;
+        i = 1;
+    }
+    while (__load8(s + i) >= '0' && __load8(s + i) <= '9') {
+        value = value * 10 + (__load8(s + i) - '0');
+        i = i + 1;
+    }
+    return value * sign;
+}
+
+// Write the decimal form of `value` into `buf` (NUL-terminated); returns the
+// number of characters written, not counting the NUL.
+int itoa(int value, int buf) {
+    int n = 0;
+    int v = value;
+    if (v < 0) {
+        __store8(buf, '-');
+        n = 1;
+        v = 0 - v;
+    }
+    int div = 1;
+    while (v / div >= 10) {
+        div = div * 10;
+    }
+    while (div > 0) {
+        __store8(buf + n, '0' + (v / div) % 10);
+        n = n + 1;
+        div = div / 10;
+    }
+    __store8(buf + n, 0);
+    return n;
+}

@@ -1,0 +1,40 @@
+// Threads and mutexes. Mutexes follow glibc's error-checking discipline:
+// relocking a held mutex fails with EPERM, and unlocking a mutex the thread
+// does not hold is fatal in the VM (the MySQL double-unlock crash mode).
+
+int pthread_create(int entry, int arg) {
+    int tid = __sys(SYS_THREAD_CREATE, entry, arg);
+    if (tid >= 0) { return tid; }
+    if (tid == -EAGAIN) { errno = EAGAIN; return -1; }
+    errno = EINVAL;
+    return -1;
+}
+
+int pthread_exit() {
+    __sys(SYS_THREAD_EXIT);
+    return 0;
+}
+
+int pthread_yield() {
+    __sys(SYS_YIELD);
+    return 0;
+}
+
+int pthread_mutex_init(int m) {
+    __sys(SYS_MUTEX_INIT, m);
+    return 0;
+}
+
+int pthread_mutex_lock(int m) {
+    int r = __sys(SYS_MUTEX_LOCK, m);
+    if (r >= 0) { return 0; }
+    errno = EPERM;
+    return -1;
+}
+
+int pthread_mutex_unlock(int m) {
+    int r = __sys(SYS_MUTEX_UNLOCK, m);
+    if (r >= 0) { return 0; }
+    errno = EPERM;
+    return -1;
+}

@@ -79,11 +79,43 @@ mod tests {
     fn expected_api_surface_is_exported() {
         let funcs = exported_functions();
         for required in [
-            "malloc", "free", "calloc", "memset", "memcpy", "strlen", "strcmp", "strcpy", "open",
-            "close", "read", "write", "unlink", "readlink", "opendir", "readdir", "closedir",
-            "fopen", "fclose", "fread", "fwrite", "socket", "bind", "sendto", "recvfrom",
-            "pthread_mutex_lock", "pthread_mutex_unlock", "pthread_create", "setenv", "getenv_r",
-            "exit", "abort", "fcntl", "stat", "fstat", "itoa", "atoi",
+            "malloc",
+            "free",
+            "calloc",
+            "memset",
+            "memcpy",
+            "strlen",
+            "strcmp",
+            "strcpy",
+            "open",
+            "close",
+            "read",
+            "write",
+            "unlink",
+            "readlink",
+            "opendir",
+            "readdir",
+            "closedir",
+            "fopen",
+            "fclose",
+            "fread",
+            "fwrite",
+            "socket",
+            "bind",
+            "sendto",
+            "recvfrom",
+            "pthread_mutex_lock",
+            "pthread_mutex_unlock",
+            "pthread_create",
+            "setenv",
+            "getenv_r",
+            "exit",
+            "abort",
+            "fcntl",
+            "stat",
+            "fstat",
+            "itoa",
+            "atoi",
         ] {
             assert!(
                 funcs.iter().any(|f| f == required),

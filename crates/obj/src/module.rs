@@ -84,13 +84,19 @@ impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateError::MisalignedCode { len } => {
-                write!(f, "code section length {len} is not a multiple of {INSN_SIZE}")
+                write!(
+                    f,
+                    "code section length {len} is not a multiple of {INSN_SIZE}"
+                )
             }
             ValidateError::BadInstruction { offset, message } => {
                 write!(f, "undecodable instruction at {offset:#x}: {message}")
             }
             ValidateError::SymRefOutOfRange { offset, sym } => {
-                write!(f, "instruction at {offset:#x} references missing symbol #{sym}")
+                write!(
+                    f,
+                    "instruction at {offset:#x} references missing symbol #{sym}"
+                )
             }
             ValidateError::ExportOutOfRange { name } => {
                 write!(f, "export `{name}` points outside its section")
@@ -99,7 +105,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "function export `{name}` is not instruction-aligned")
             }
             ValidateError::BadDataReloc { data_offset } => {
-                write!(f, "data relocation at {data_offset:#x} is out of range or misaligned")
+                write!(
+                    f,
+                    "data relocation at {data_offset:#x} is out of range or misaligned"
+                )
             }
             ValidateError::LineFileOutOfRange { entry } => {
                 write!(f, "line-table entry {entry} references a missing file")
@@ -143,7 +152,7 @@ impl Module {
 
     /// Decode the single instruction at `offset`, if any.
     pub fn insn_at(&self, offset: u64) -> Option<Insn> {
-        if offset % INSN_SIZE != 0 {
+        if !offset.is_multiple_of(INSN_SIZE) {
             return None;
         }
         let start = offset as usize;
@@ -252,7 +261,7 @@ impl Module {
     /// Check every structural invariant of the module.
     pub fn validate(&self) -> Result<(), Vec<ValidateError>> {
         let mut errors = Vec::new();
-        if self.code.len() % INSN_SIZE as usize != 0 {
+        if !self.code.len().is_multiple_of(INSN_SIZE as usize) {
             errors.push(ValidateError::MisalignedCode {
                 len: self.code.len(),
             });
@@ -280,7 +289,10 @@ impl Module {
         }
         let mut seen = HashMap::new();
         for export in &self.exports {
-            if seen.insert((export.name.clone(), export.kind), ()).is_some() {
+            if seen
+                .insert((export.name.clone(), export.kind), ())
+                .is_some()
+            {
                 errors.push(ValidateError::DuplicateExport {
                     name: export.name.clone(),
                 });

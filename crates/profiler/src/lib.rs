@@ -19,6 +19,7 @@
 use std::collections::BTreeMap;
 
 use lfi_arch::{CallConv, Insn, Reg, Word};
+use lfi_json::{JsonError, Value};
 use lfi_obj::{Module, SymKind};
 use serde::{Deserialize, Serialize};
 
@@ -98,12 +99,94 @@ impl FaultProfile {
     /// Serialize to a pretty JSON document (the analogue of the paper's XML
     /// fault-profile files).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("profile serialization cannot fail")
+        let functions = self
+            .functions
+            .iter()
+            .map(|(name, f)| {
+                let cases = f
+                    .error_cases
+                    .iter()
+                    .map(|c| {
+                        Value::Obj(vec![
+                            ("retval".to_string(), Value::Int(c.retval)),
+                            ("errno".to_string(), c.errno.map_or(Value::Null, Value::Int)),
+                        ])
+                    })
+                    .collect();
+                let profile = Value::Obj(vec![
+                    ("name".to_string(), Value::Str(f.name.clone())),
+                    ("error_cases".to_string(), Value::Arr(cases)),
+                    (
+                        "returns_dynamic".to_string(),
+                        Value::Bool(f.returns_dynamic),
+                    ),
+                ]);
+                (name.clone(), profile)
+            })
+            .collect();
+        Value::Obj(vec![
+            ("library".to_string(), Value::Str(self.library.clone())),
+            ("functions".to_string(), Value::Obj(functions)),
+        ])
+        .to_pretty()
     }
 
     /// Parse a profile from its JSON form.
-    pub fn from_json(text: &str) -> Result<FaultProfile, serde_json::Error> {
-        serde_json::from_str(text)
+    pub fn from_json(text: &str) -> Result<FaultProfile, JsonError> {
+        fn invalid(message: impl Into<String>) -> JsonError {
+            JsonError {
+                position: 0,
+                message: message.into(),
+            }
+        }
+        let doc = lfi_json::parse(text)?;
+        let library = doc
+            .get("library")
+            .and_then(Value::as_str)
+            .ok_or_else(|| invalid("missing string field `library`"))?
+            .to_string();
+        let Some(Value::Obj(members)) = doc.get("functions") else {
+            return Err(invalid("missing object field `functions`"));
+        };
+        let mut functions = BTreeMap::new();
+        for (name, entry) in members {
+            let fn_name = entry
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| invalid(format!("function `{name}`: missing `name`")))?
+                .to_string();
+            let cases = entry
+                .get("error_cases")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| invalid(format!("function `{name}`: missing `error_cases`")))?;
+            let mut error_cases = Vec::new();
+            for case in cases {
+                let retval = case
+                    .get("retval")
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| invalid(format!("function `{name}`: case missing `retval`")))?;
+                let errno = match case.get("errno") {
+                    Some(Value::Null) | None => None,
+                    Some(value) => Some(value.as_int().ok_or_else(|| {
+                        invalid(format!("function `{name}`: non-integer `errno`"))
+                    })?),
+                };
+                error_cases.push(ErrorCase { retval, errno });
+            }
+            let returns_dynamic = entry
+                .get("returns_dynamic")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            functions.insert(
+                name.clone(),
+                FunctionProfile {
+                    name: fn_name,
+                    error_cases,
+                    returns_dynamic,
+                },
+            );
+        }
+        Ok(FaultProfile { library, functions })
     }
 
     /// Merge another library's profile into this one (useful when an

@@ -1,0 +1,151 @@
+// bind-lite: the BIND analogue. A small DNS-style server that loads a zone
+// file, answers queries over the simulated network, and exposes a statistics
+// channel rendered with libxml-lite. Seeded with the two BIND defects of
+// Table 1:
+//
+//   * bind-xml-writer — stats_channel uses the writer returned by
+//     xml_new_writer without checking it for NULL;
+//   * bind-dst-lib-init — dst_lib_init checks its malloc, but the recovery
+//     path trips an assertion (abort), i.e. the recovery code itself is the
+//     bug.
+
+int zone_keys[16];
+int zone_values[16];
+int zone_count = 0;
+
+// The DST (crypto) subsystem bootstrap. The malloc IS checked, but the
+// error path's sanity check aborts — the paper's "incorrectly handled
+// malloc return value in dst_lib_init".
+int dst_lib_init() {
+    int key = malloc(64);
+    if (key == 0) {
+        assert_true(0, "dst_lib_init: key table must exist");
+        return -1;
+    }
+    *key = 777;
+    return 0;
+}
+
+// Load zone records (16 bytes each: 8-byte key string, 8-byte value
+// string). Both the open and the close are checked — load_zone is the
+// well-written recovery code the paper's Table 4 row expects.
+int load_zone() {
+    int fd = open("/etc/bind/zone.db", O_RDONLY, 0);
+    if (fd == -1) {
+        print("cannot open zone file\n");
+        exit(1);
+    }
+    int rec[2];
+    int n = read(fd, rec, 16);
+    while (n == 16) {
+        zone_keys[zone_count] = atoi(rec);
+        zone_values[zone_count] = atoi(rec + 8);
+        zone_count = zone_count + 1;
+        n = read(fd, rec, 16);
+    }
+    if (close(fd) == -1) {
+        print("warning: zone file close failed\n");
+    }
+    return zone_count;
+}
+
+// Answer one query: look the key up and reply with its value, or NXDOMAIN.
+int answer_query(int s, int q, int node, int port) {
+    int key = atoi(q);
+    int out[8];
+    int i = 0;
+    while (i < zone_count) {
+        if (zone_keys[i] == key) {
+            int len = itoa(zone_values[i], out);
+            sendto(s, out, len, node, port);
+            return 1;
+        }
+        i = i + 1;
+    }
+    strcpy(out, "NXDOMAIN");
+    sendto(s, out, 8, node, port);
+    return 0;
+}
+
+// The statistics channel. BUG (bind-xml-writer): the writer returned by
+// xml_new_writer is used without a NULL check, so an allocation failure in
+// the library crashes the server while a user retrieves statistics.
+int stats_channel(int s, int node, int port) {
+    int w = xml_new_writer();
+    xml_writer_add(w, "zones", zone_count);
+    xml_writer_add(w, "workers", 1);
+    int len = xml_writer_end(w);
+    sendto(s, w, len, node, port);
+    return 0;
+}
+
+// Dump server state; the open is checked but the close is not (the paper's
+// unchecked close in BIND's dump writer).
+int write_dump(int queries) {
+    int fd = open("/var/bind/named.dump", O_WRONLY | O_CREAT | O_TRUNC, 0);
+    if (fd == -1) { return -1; }
+    int out[8];
+    int len = itoa(queries, out);
+    write(fd, out, len);
+    close(fd);
+    return 0;
+}
+
+// Journal cleanup with a checked unlink (Table 4 row).
+int cleanup_journal() {
+    if (unlink("/var/bind/journal") == -1) {
+        print("journal cleanup failed\n");
+        return -1;
+    }
+    return 0;
+}
+
+// Serve `requests` datagrams (queries or STATS requests); returns the
+// number of data queries answered.
+int serve(int requests) {
+    int s = socket(0, 0, 0);
+    if (s == -1) { exit(2); }
+    if (bind(s, 53) == -1) { exit(2); }
+    int buf[64];
+    int src[2];
+    int served = 0;
+    int queries = 0;
+    int idle = 0;
+    while (served < requests && idle < 20000) {
+        int n = recvfrom(s, buf, 500, src);
+        if (n <= 0) {
+            idle = idle + 1;
+            continue;
+        }
+        idle = 0;
+        __store8(buf + n, 0);
+        served = served + 1;
+        if (strcmp(buf, "STATS") == 0) {
+            stats_channel(s, src[0], src[1]);
+        } else {
+            queries = queries + answer_query(s, buf, src[0], src[1]);
+        }
+    }
+    return queries;
+}
+
+int main(int argc) {
+    int arg[8];
+    int requests = 4;
+    if (argc > 0) {
+        if (getenv_r("ARG0", arg, 60) == -1) {
+            print("bind-lite: bad arguments\n");
+        } else {
+            requests = atoi(arg);
+        }
+    }
+    dst_lib_init();
+    load_zone();
+    int queries = serve(requests);
+    write_dump(queries);
+    cleanup_journal();
+    print("served ");
+    print_num(queries);
+    print(" queries\n");
+    return 0;
+}

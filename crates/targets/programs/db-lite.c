@@ -1,0 +1,147 @@
+// db-lite: the MySQL analogue. A storage engine with OLTP transactions over
+// /data/table.myd, fcntl-based locking, table creation under a mutex, and an
+// error-message catalogue loaded at startup. Seeded with the two MySQL
+// defects of Table 1:
+//
+//   * mysql-double-unlock — mi_create's close-failure cleanup path unlocks
+//     a mutex it already released (glibc error-checking mutexes abort);
+//   * mysql-errmsg-read   — init_errmsg never checks read's -1 error
+//     return, leaving the message table NULL before it is dereferenced.
+
+int thread_count = 1;
+int shutdown_in_progress = 0;
+int msg_ptrs[8];
+
+// Load the errmsg.sys catalogue. BUG (mysql-errmsg-read): the read error
+// return is not checked; when read fails, no messages are parsed and the
+// greeting below dereferences a NULL entry.
+int init_errmsg() {
+    int fd = open("/share/errmsg.sys", O_RDONLY, 0);
+    if (fd == -1) {
+        print("no errmsg.sys\n");
+        return -1;
+    }
+    int buf[64];
+    int n = read(fd, buf, 400);
+    int count = 0;
+    int off = 0;
+    while (off < n && count < 3) {
+        msg_ptrs[count] = buf + off;
+        count = count + 1;
+        off = off + strlen(buf + off) + 1;
+    }
+    print("errmsg: ");
+    print(msg_ptrs[0]);
+    print("\n");
+    close(fd);
+    return count;
+}
+
+// Create a table file under the global DDL mutex. The close IS checked —
+// but BUG (mysql-double-unlock): the cleanup path releases the mutex a
+// second time, which is fatal.
+int mi_create(int name) {
+    pthread_mutex_lock(3);
+    int fd = open(name, O_WRONLY | O_CREAT | O_TRUNC, 0);
+    if (fd == -1) {
+        pthread_mutex_unlock(3);
+        return -1;
+    }
+    write(fd, "tbl", 3);
+    pthread_mutex_unlock(3);
+    if (close(fd) == -1) {
+        pthread_mutex_unlock(3);
+        return -1;
+    }
+    return 0;
+}
+
+// One OLTP transaction: lock, read a record, optionally write it back.
+int do_txn(int id, int readonly) {
+    int fd = open("/data/table.myd", O_RDWR, 0);
+    if (fd == -1) { return -1; }
+    fcntl(fd, F_GETLK, 0);
+    int buf[16];
+    lseek(fd, (id % 8) * 16, SEEK_SET);
+    int n = read(fd, buf, 64);
+    if (n == -1) {
+        close(fd);
+        return -1;
+    }
+    if (readonly == 0) {
+        lseek(fd, (id % 8) * 16, SEEK_SET);
+        write(fd, buf, 16);
+    }
+    fcntl(fd, F_SETLK, 0);
+    close(fd);
+    return 0;
+}
+
+int cmd_oltp(int txns, int readonly) {
+    int i = 0;
+    int failures = 0;
+    while (i < txns) {
+        if (do_txn(i, readonly) == -1) {
+            failures = failures + 1;
+        }
+        i = i + 1;
+    }
+    print("oltp done\n");
+    if (failures > txns / 2) { return 1; }
+    return 0;
+}
+
+int cmd_merge_big(int tables) {
+    int i = 0;
+    while (i < tables) {
+        int name[8];
+        strcpy(name, "/data/t");
+        int digits[4];
+        itoa(i, digits);
+        strcat(name, digits);
+        mi_create(name);
+        i = i + 1;
+    }
+    print("merged\n");
+    return 0;
+}
+
+int cmd_bootstrap() {
+    init_errmsg();
+    mi_create("/data/bootstrap.myd");
+    print("bootstrapped\n");
+    return 0;
+}
+
+int main(int argc) {
+    int cmd[8];
+    if (argc < 1) {
+        print("usage: db-lite <command>\n");
+        return 1;
+    }
+    if (getenv_r("ARG0", cmd, 60) == -1) {
+        print("usage: db-lite <command>\n");
+        return 1;
+    }
+    shutdown_in_progress = 0;
+    thread_count = 1;
+    if (strcmp(cmd, "bootstrap") == 0) { return cmd_bootstrap(); }
+    if (strcmp(cmd, "oltp") == 0) {
+        int a1[8];
+        int a2[8];
+        if (getenv_r("ARG1", a1, 60) == -1) { return 1; }
+        if (getenv_r("ARG2", a2, 60) == -1) { return 1; }
+        int r = cmd_oltp(atoi(a1), atoi(a2));
+        shutdown_in_progress = 1;
+        return r;
+    }
+    if (strcmp(cmd, "merge-big") == 0) {
+        int m1[8];
+        if (getenv_r("ARG1", m1, 60) == -1) { return 1; }
+        int mr = cmd_merge_big(atoi(m1));
+        shutdown_in_progress = 1;
+        return mr;
+    }
+    print("unknown command\n");
+    return 1;
+}

@@ -1,0 +1,187 @@
+// git-lite: the Git analogue. Implements init/add/commit/log/diff/check-head
+// subcommands over the simulated filesystem. Seeded with the five Git
+// defects of Table 1:
+//
+//   * git-setenv-env     — cmd_commit ignores a failed setenv and records
+//                          the commit without its author (silent data loss);
+//   * git-readdir-null   — cmd_log passes opendir's unchecked NULL result
+//                          straight to readdir;
+//   * git-xmerge-567/571 — two unchecked mallocs in xdl_merge;
+//   * git-xpatience-191  — an unchecked malloc in xdl_patience.
+
+// Store an object under /repo/.git/objects. The open is checked; the close
+// is not (one of the paper's unchecked Git close sites).
+int write_object(int name, int data) {
+    int path[16];
+    strcpy(path, "/repo/.git/objects/");
+    strcat(path, name);
+    int fd = open(path, O_WRONLY | O_CREAT | O_TRUNC, 0);
+    if (fd == -1) { return -1; }
+    write(fd, data, strlen(data));
+    close(fd);
+    return 0;
+}
+
+// Post-commit hook runner; its close is also unchecked.
+int run_commit_hook() {
+    int fd = open("/repo/.git/hook.log", O_WRONLY | O_CREAT | O_APPEND, 0);
+    if (fd == -1) { return -1; }
+    write(fd, "hook\n", 5);
+    close(fd);
+    return 0;
+}
+
+int cmd_init() {
+    mkdir("/repo", 0);
+    mkdir("/repo/.git", 0);
+    mkdir("/repo/.git/objects", 0);
+    write_object("head", "ref: main");
+    print("initialized\n");
+    return 0;
+}
+
+// Stage a file. This close IS checked — the well-behaved call site the
+// Table 4 ground truth lists for close.
+int cmd_add(int path) {
+    int fd = open(path, O_RDONLY, 0);
+    if (fd == -1) {
+        print("add: cannot open input\n");
+        return 1;
+    }
+    int buf[64];
+    int n = read(fd, buf, 500);
+    if (n < 0) { n = 0; }
+    __store8(buf + n, 0);
+    if (close(fd) == -1) {
+        print("add: close failed\n");
+        return 1;
+    }
+    write_object("staged", buf);
+    print("added\n");
+    return 0;
+}
+
+// Record a commit. BUG (git-setenv-env): the setenv return value is
+// ignored; if it fails, the external hook and the record run with an
+// incomplete environment and the commit silently loses its author.
+int cmd_commit(int msg) {
+    setenv("GIT_AUTHOR", "dev@example.com", 1);
+    int author[8];
+    int have_author = getenv_r("GIT_AUTHOR", author, 60);
+    int record[32];
+    strcpy(record, "commit ");
+    strcat(record, msg);
+    if (have_author > 0) {
+        strcat(record, " by ");
+        strcat(record, author);
+    }
+    write_object("commit", record);
+    run_commit_hook();
+    print("committed\n");
+    return 0;
+}
+
+// List objects. BUG (git-readdir-null): opendir's result is not checked,
+// so a failed opendir hands NULL to readdir.
+int cmd_log() {
+    int d = opendir("/repo/.git/objects");
+    int n = 0;
+    while (readdir(d) != 0) {
+        n = n + 1;
+    }
+    closedir(d);
+    print("objects: ");
+    print_num(n);
+    print("\n");
+    return 0;
+}
+
+// The xdiff merge kernel. BUGS (git-xmerge-567, git-xmerge-571): neither
+// allocation checks for NULL before the first store.
+int xdl_merge(int lines_a, int lines_b) {
+    int base = malloc(lines_a * 8 + 8);
+    *base = lines_a;
+    int side = malloc(lines_b * 8 + 8);
+    *side = lines_b;
+    int i = 1;
+    while (i <= lines_a) {
+        base[i] = i;
+        i = i + 1;
+    }
+    i = 1;
+    while (i <= lines_b) {
+        side[i] = i + 1;
+        i = i + 1;
+    }
+    return *base + *side;
+}
+
+// The patience-diff kernel. BUG (git-xpatience-191): unchecked malloc.
+int xdl_patience(int lines) {
+    int table = malloc(lines * 8 + 8);
+    *table = lines;
+    int i = 1;
+    while (i <= lines) {
+        table[i] = table[i - 1] + 1;
+        i = i + 1;
+    }
+    return *table;
+}
+
+int cmd_diff(int a, int b) {
+    int m = xdl_merge(a, b);
+    int p = xdl_patience(a + b);
+    print("diff: ");
+    print_num(m + p);
+    print("\n");
+    return 0;
+}
+
+// Resolve the HEAD symlink with a checked readlink (Table 4 row).
+int cmd_check_head() {
+    int target[16];
+    int n = readlink("/repo/.git/HEAD-link", target, 120);
+    if (n == -1) {
+        print("check-head: not a symlink\n");
+        return 0;
+    }
+    __store8(target + n, 0);
+    print("HEAD -> ");
+    print(target);
+    print("\n");
+    return 0;
+}
+
+int main(int argc) {
+    int cmd[8];
+    if (argc < 1) {
+        print("usage: git-lite <command>\n");
+        return 1;
+    }
+    if (getenv_r("ARG0", cmd, 60) == -1) {
+        print("usage: git-lite <command>\n");
+        return 1;
+    }
+    int arg1[16];
+    if (argc > 1) {
+        if (getenv_r("ARG1", arg1, 120) == -1) {
+            print("git-lite: bad argument\n");
+            return 1;
+        }
+    }
+    if (strcmp(cmd, "init") == 0) { return cmd_init(); }
+    if (strcmp(cmd, "add") == 0) { return cmd_add(arg1); }
+    if (strcmp(cmd, "commit") == 0) { return cmd_commit(arg1); }
+    if (strcmp(cmd, "log") == 0) { return cmd_log(); }
+    if (strcmp(cmd, "diff") == 0) {
+        int arg2[8];
+        if (getenv_r("ARG2", arg2, 60) == -1) {
+            print("git-lite: bad argument\n");
+            return 1;
+        }
+        return cmd_diff(atoi(arg1), atoi(arg2));
+    }
+    if (strcmp(cmd, "check-head") == 0) { return cmd_check_head(); }
+    print("unknown command\n");
+    return 1;
+}

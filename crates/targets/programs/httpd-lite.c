@@ -1,0 +1,88 @@
+// httpd-lite: the Apache analogue used by the overhead experiments
+// (Table 5). Serves `count` requests of one kind (1 = static HTML,
+// 2 = PHP-style compute) from /www, reading files through the apr_file_read
+// wrapper and processing every request under the accept mutex — the
+// structure the paper's five-trigger stack (file-kind, caller, program
+// state, with-mutex) keys on.
+
+int requests_done = 0;
+
+// APR-style read wrapper: logs read errors and keeps serving.
+int apr_file_read(int fd, int buf, int cap) {
+    int n = read(fd, buf, cap);
+    if (n == -1) {
+        print("read error\n");
+        return -1;
+    }
+    return n;
+}
+
+int handle_static(int path) {
+    int fd = open(path, O_RDONLY, 0);
+    if (fd == -1) {
+        print("404\n");
+        return -1;
+    }
+    int buf[150];
+    int total = 0;
+    int n = apr_file_read(fd, buf, 1000);
+    while (n > 0) {
+        total = total + n;
+        n = apr_file_read(fd, buf, 1000);
+    }
+    close(fd);
+    return total;
+}
+
+int run_php(int path) {
+    int fd = open(path, O_RDONLY, 0);
+    if (fd == -1) {
+        print("404\n");
+        return -1;
+    }
+    int buf[150];
+    apr_file_read(fd, buf, 1000);
+    close(fd);
+    int i = 0;
+    int acc = 0;
+    while (i < 200) {
+        acc = acc + i * i;
+        i = i + 1;
+    }
+    return acc;
+}
+
+int ap_process_request_internal(int kind) {
+    pthread_mutex_lock(1);
+    int r = 0;
+    if (kind == 1) { r = handle_static("/www/index.html"); }
+    if (kind == 2) { r = run_php("/www/page.php"); }
+    requests_done = requests_done + 1;
+    pthread_mutex_unlock(1);
+    return r;
+}
+
+int main(int argc) {
+    int a0[8];
+    int a1[8];
+    int count = 10;
+    int kind = 1;
+    if (argc > 0) {
+        if (getenv_r("ARG0", a0, 60) == -1) { return 1; }
+        count = atoi(a0);
+    }
+    if (argc > 1) {
+        if (getenv_r("ARG1", a1, 60) == -1) { return 1; }
+        kind = atoi(a1);
+    }
+    pthread_mutex_init(1);
+    int i = 0;
+    while (i < count) {
+        ap_process_request_internal(kind);
+        i = i + 1;
+    }
+    print("served ");
+    print_num(count);
+    print(" requests\n");
+    return 0;
+}

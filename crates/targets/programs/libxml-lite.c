@@ -1,0 +1,31 @@
+// libxml-lite: the xmlNewTextWriterDoc-style XML writer library that
+// bind-lite's statistics channel uses. Its constructor can fail (returning
+// NULL with errno), which is exactly the failure LFI injects to expose the
+// BIND stats-channel bug of Table 1.
+
+int xml_new_writer() {
+    int w = malloc(512);
+    if (w == 0) { errno = ENOMEM; return 0; }
+    strcpy(w, "<statistics>");
+    return w;
+}
+
+// Append `<key>value</key>` to the document under construction.
+int xml_writer_add(int w, int key, int value) {
+    strcat(w, "<");
+    strcat(w, key);
+    strcat(w, ">");
+    int digits[4];
+    itoa(value, digits);
+    strcat(w, digits);
+    strcat(w, "</");
+    strcat(w, key);
+    strcat(w, ">");
+    return 0;
+}
+
+// Close the document; returns its total length in bytes.
+int xml_writer_end(int w) {
+    strcat(w, "</statistics>");
+    return strlen(w);
+}

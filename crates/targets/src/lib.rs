@@ -127,21 +127,25 @@ pub fn standard_fs_setup(machine: &mut Machine) {
     fs.write_file("/var/bind/journal", b"journal").unwrap();
 
     fs.mkdir_all("/repo/.git/objects");
-    fs.write_file("/repo/README.md", b"hello repository\n").unwrap();
-    fs.write_file("/repo/main.c", b"int main() { return 0; }\n").unwrap();
+    fs.write_file("/repo/README.md", b"hello repository\n")
+        .unwrap();
+    fs.write_file("/repo/main.c", b"int main() { return 0; }\n")
+        .unwrap();
     fs.write_file("/repo/.git/HEAD", b"ref: main\n").unwrap();
     let _ = fs.symlink("/repo/.git/HEAD", "/repo/.git/HEAD-link");
 
     fs.mkdir_all("/data");
     fs.write_file("/data/table.myd", &vec![7u8; 1024]).unwrap();
     fs.mkdir_all("/share");
-    fs.write_file("/share/errmsg.sys", b"ER_OK\0ER_DUP\0ER_LOCK\0").unwrap();
+    fs.write_file("/share/errmsg.sys", b"ER_OK\0ER_DUP\0ER_LOCK\0")
+        .unwrap();
 
     fs.mkdir_all("/ckpt");
 
     fs.mkdir_all("/www");
     fs.write_file("/www/index.html", &vec![b'x'; 1000]).unwrap();
-    fs.write_file("/www/page.php", b"<?php compute(); ?>").unwrap();
+    fs.write_file("/www/page.php", b"<?php compute(); ?>")
+        .unwrap();
 }
 
 /// Convenience: a controller pre-loaded with the simulated libc, the
@@ -177,7 +181,9 @@ mod tests {
     #[test]
     fn targets_import_the_libc_functions_the_paper_injects_into() {
         let bind = bind_lite();
-        for f in ["malloc", "open", "read", "close", "unlink", "sendto", "recvfrom"] {
+        for f in [
+            "malloc", "open", "read", "close", "unlink", "sendto", "recvfrom",
+        ] {
             assert!(
                 bind.imported_functions().iter().any(|i| i == f),
                 "bind-lite must import {f}"

@@ -101,7 +101,9 @@ impl Workload for BindWorkload {
 mod tests {
     use lfi_core::{TestConfig, TestOutcome};
 
-    use crate::{bind_lite, db_lite, git_lite, httpd_lite, networked_controller, standard_controller};
+    use crate::{
+        bind_lite, db_lite, git_lite, httpd_lite, networked_controller, standard_controller,
+    };
 
     use super::*;
 

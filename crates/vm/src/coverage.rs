@@ -93,11 +93,13 @@ mod tests {
     fn module_with_lines() -> Module {
         let mut m = Module::new("app", ModuleKind::Executable);
         for _ in 0..4 {
-            m.code.extend_from_slice(&Insn::MovI {
-                dst: Reg::R(0),
-                imm: 0,
-            }
-            .encode());
+            m.code.extend_from_slice(
+                &Insn::MovI {
+                    dst: Reg::R(0),
+                    imm: 0,
+                }
+                .encode(),
+            );
         }
         m.code.extend_from_slice(&Insn::Ret.encode());
         m.exports.push(Export {

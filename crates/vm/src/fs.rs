@@ -388,7 +388,10 @@ mod tests {
         fs.set_io_error("/errmsg.sys");
         assert_eq!(fs.read_file("/errmsg.sys"), Err(FsError(errno::EIO)));
         assert_eq!(fs.read_at("/errmsg.sys", 0, 4), Err(FsError(errno::EIO)));
-        assert_eq!(fs.write_at("/errmsg.sys", 0, b"x"), Err(FsError(errno::EIO)));
+        assert_eq!(
+            fs.write_at("/errmsg.sys", 0, b"x"),
+            Err(FsError(errno::EIO))
+        );
     }
 
     #[test]

@@ -104,11 +104,9 @@ impl Image {
 
     /// Address of a function export, searching the usual symbol order.
     pub fn func_addr(&self, name: &str) -> Option<Addr> {
-        self.modules.iter().find_map(|m| {
-            m.module
-                .func_export(name)
-                .map(|e| m.code_base + e.offset)
-        })
+        self.modules
+            .iter()
+            .find_map(|m| m.module.func_export(name).map(|e| m.code_base + e.offset))
     }
 
     /// Address of a data export, searching the usual symbol order.

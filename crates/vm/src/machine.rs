@@ -263,7 +263,6 @@ impl Thread {
             pc,
             tls: HashMap::new(),
             frames: vec![ShadowFrame {
-
                 call_site_module: 0,
                 call_site_offset: 0,
                 return_addr: RETURN_SENTINEL,
@@ -285,19 +284,9 @@ impl Thread {
 pub(crate) enum FdEntry {
     Stdout,
     Stderr,
-    File {
-        path: String,
-        pos: u64,
-        flags: i64,
-    },
-    Socket {
-        port: Option<i64>,
-        flags: i64,
-    },
-    Dir {
-        entries: Vec<String>,
-        pos: usize,
-    },
+    File { path: String, pos: u64, flags: i64 },
+    Socket { port: Option<i64>, flags: i64 },
+    Dir { entries: Vec<String>, pos: usize },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -637,10 +626,7 @@ impl Machine {
                 }
             }
             let Some(idx) = found else {
-                let all_exited = self
-                    .threads
-                    .iter()
-                    .all(|t| t.state == ThreadState::Exited);
+                let all_exited = self.threads.iter().all(|t| t.state == ThreadState::Exited);
                 let exit = if all_exited {
                     RunExit::Exited(0)
                 } else {
@@ -837,7 +823,6 @@ impl Machine {
                 let callee = self.image.modules[module_idx].code_addr(target as u64);
                 self.stats.calls += 1;
                 thread!().frames.push(ShadowFrame {
-
                     call_site_module: module_idx,
                     call_site_offset: offset,
                     return_addr: next_pc,
@@ -851,7 +836,6 @@ impl Machine {
                 }
                 self.stats.calls += 1;
                 thread!().frames.push(ShadowFrame {
-
                     call_site_module: module_idx,
                     call_site_offset: offset,
                     return_addr: next_pc,
@@ -864,7 +848,6 @@ impl Machine {
                 match resolution {
                     Resolution::Func { addr } => {
                         thread!().frames.push(ShadowFrame {
-
                             call_site_module: module_idx,
                             call_site_offset: offset,
                             return_addr: next_pc,
@@ -885,7 +868,6 @@ impl Machine {
                             HookAction::Forward => match original {
                                 Some(addr) => {
                                     thread!().frames.push(ShadowFrame {
-
                                         call_site_module: module_idx,
                                         call_site_offset: offset,
                                         return_addr: next_pc,
@@ -893,17 +875,13 @@ impl Machine {
                                     next_pc = addr;
                                 }
                                 None => {
-                                    return Some(
-                                        self.fault(FaultKind::UnresolvedSymbol { name }),
-                                    )
+                                    return Some(self.fault(FaultKind::UnresolvedSymbol { name }))
                                 }
                             },
                             HookAction::Return { value, errno } => {
                                 thread!().set_reg(Reg::RET, value);
                                 if let Some(e) = errno {
-                                    thread!()
-                                        .tls
-                                        .insert(CallConv::ERRNO_SYMBOL.to_string(), e);
+                                    thread!().tls.insert(CallConv::ERRNO_SYMBOL.to_string(), e);
                                 }
                             }
                         }
@@ -1079,7 +1057,7 @@ impl CallContext<'_> {
                     .clone(),
                 offset: self.call_site_offset,
                 function: self.caller_function(),
-                source: self.call_site_source().map(|(f, l)| (f, l)),
+                source: self.call_site_source(),
             },
         );
         frames

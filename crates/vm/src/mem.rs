@@ -118,7 +118,9 @@ impl Memory {
     /// Read `buf.len()` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: Addr, buf: &mut [u8]) -> Result<(), MemError> {
         for (i, slot) in buf.iter_mut().enumerate() {
-            let a = addr.checked_add(i as u64).ok_or(MemError::AddressOverflow)?;
+            let a = addr
+                .checked_add(i as u64)
+                .ok_or(MemError::AddressOverflow)?;
             *slot = self.read_u8(a)?;
         }
         Ok(())
@@ -127,7 +129,9 @@ impl Memory {
     /// Write all of `bytes` starting at `addr`.
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), MemError> {
         for (i, &b) in bytes.iter().enumerate() {
-            let a = addr.checked_add(i as u64).ok_or(MemError::AddressOverflow)?;
+            let a = addr
+                .checked_add(i as u64)
+                .ok_or(MemError::AddressOverflow)?;
             self.write_u8(a, b)?;
         }
         Ok(())
@@ -161,7 +165,10 @@ mod tests {
     #[test]
     fn unmapped_access_faults() {
         let mut mem = Memory::new();
-        assert_eq!(mem.read_u8(0x1000), Err(MemError::Unmapped { addr: 0x1000 }));
+        assert_eq!(
+            mem.read_u8(0x1000),
+            Err(MemError::Unmapped { addr: 0x1000 })
+        );
         assert_eq!(
             mem.write_word(0x2000, 7),
             Err(MemError::Unmapped { addr: 0x2000 })

@@ -481,7 +481,12 @@ impl Machine {
             return -errno::EAGAIN;
         };
         let n = datagram.payload.len().min(cap);
-        if n > 0 && self.mem.write_bytes(buf as Addr, &datagram.payload[..n]).is_err() {
+        if n > 0
+            && self
+                .mem
+                .write_bytes(buf as Addr, &datagram.payload[..n])
+                .is_err()
+        {
             return -errno::EINVAL;
         }
         if srcinfo != 0 {
@@ -505,8 +510,8 @@ impl Machine {
         );
         match self.fds.get(fd.max(0) as usize).and_then(|e| e.clone()) {
             Some(FdEntry::Socket { port, .. }) => self.socket_recv(port, buf, cap, srcinfo),
-            Some(_) => return -errno::EINVAL,
-            None => return -errno::EBADF,
+            Some(_) => -errno::EINVAL,
+            None => -errno::EBADF,
         }
     }
 

@@ -2,7 +2,7 @@
 //! them with a library, run them, and check results, faults, interposition,
 //! threads, and coverage.
 
-use lfi_arch::{errno, sys, Word};
+use lfi_arch::{errno, Word};
 use lfi_asm::assemble_text;
 use lfi_vm::{
     CallContext, HookAction, HookHandler, Loader, Machine, NoHooks, ProcessConfig, RunExit,
@@ -354,7 +354,10 @@ fn coverage_records_executed_lines() {
     let line_numbers: Vec<u32> = lines.iter().map(|(_, l)| *l).collect();
     assert!(line_numbers.contains(&1));
     assert!(line_numbers.contains(&3));
-    assert!(!line_numbers.contains(&4), "dead branch must not be covered");
+    assert!(
+        !line_numbers.contains(&4),
+        "dead branch must not be covered"
+    );
 }
 
 /// An interposition handler that makes the n-th call to a function fail.

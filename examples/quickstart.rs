@@ -70,7 +70,12 @@ fn main() {
     println!("\ngenerated scenario:\n{}", scenario.to_xml());
 
     let report = controller
-        .run_test(&exe, &scenario, &mut RunToCompletion, &TestConfig::default())
+        .run_test(
+            &exe,
+            &scenario,
+            &mut RunToCompletion,
+            &TestConfig::default(),
+        )
         .expect("test run");
     println!("test outcome: {:?}", report.outcome);
     println!("injection log:\n{}", report.injections.to_json());

@@ -50,7 +50,11 @@ fn checked_recovery_code_survives_injection_cleanly() {
                 .unwrap_or(false)
         })
         .expect("load_zone opens the zone file");
-    let case = profile.function("open").unwrap().representative_case().unwrap();
+    let case = profile
+        .function("open")
+        .unwrap()
+        .representative_case()
+        .unwrap();
     let scenario = Scenario::new()
         .with_trigger(TriggerDecl {
             id: "zone".into(),
@@ -100,7 +104,9 @@ fn call_count_and_singleton_triggers_compose() {
         .with_trigger(TriggerDecl {
             id: "third".into(),
             class: "CallCountTrigger".into(),
-            params: [("count".to_string(), "3".to_string())].into_iter().collect(),
+            params: [("count".to_string(), "3".to_string())]
+                .into_iter()
+                .collect(),
             frames: vec![],
         })
         .with_trigger(TriggerDecl {
@@ -176,7 +182,10 @@ fn profiler_knows_how_libc_functions_fail() {
     assert!(read.error_return_values().contains(&-1));
     assert!(read.errno_values().contains(&lfi::arch::errno::EINTR));
     let fopen = profile.function("fopen").expect("fopen profiled");
-    assert!(fopen.error_return_values().contains(&0), "fopen returns NULL");
+    assert!(
+        fopen.error_return_values().contains(&0),
+        "fopen returns NULL"
+    );
     let profile_json = profile.to_json();
     let reparsed = lfi::profiler::FaultProfile::from_json(&profile_json).unwrap();
     assert_eq!(reparsed, profile);
@@ -216,12 +225,18 @@ fn lfi_bench_scenario() -> Scenario {
         (
             "t1",
             "FdKindTrigger",
-            vec![("index", "0".to_string()), ("kind", lfi::arch::abi::filekind::REGULAR.to_string())],
+            vec![
+                ("index", "0".to_string()),
+                ("kind", lfi::arch::abi::filekind::REGULAR.to_string()),
+            ],
         ),
         (
             "t2",
             "CallerFunctionTrigger",
-            vec![("function", "apr_file_read".to_string()), ("anywhere", "1".to_string())],
+            vec![
+                ("function", "apr_file_read".to_string()),
+                ("anywhere", "1".to_string()),
+            ],
         ),
         (
             "t3",

@@ -63,7 +63,12 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
             (
                 triggers,
                 proptest::collection::vec(
-                    (arb_identifier(), 0usize..4, -2i64..2, proptest::option::of(1i64..30)),
+                    (
+                        arb_identifier(),
+                        0usize..4,
+                        -2i64..2,
+                        proptest::option::of(1i64..30),
+                    ),
                     1..4,
                 ),
             )

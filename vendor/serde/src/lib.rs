@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The container has no route to crates.io, so this shim keeps the
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace
+//! compiling without pulling in the real crate. The traits are empty markers
+//! with blanket impls and the derives are no-ops; anything that actually
+//! needs to serialize uses the hand-rolled `lfi_json` crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

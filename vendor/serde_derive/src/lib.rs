@@ -1,0 +1,19 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derives.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a minimal serde facade. The derives expand to nothing;
+//! the sibling `serde` shim provides blanket trait impls so `T: Serialize`
+//! bounds stay satisfiable. Real serialization in this codebase goes through
+//! `lfi_json` instead.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
