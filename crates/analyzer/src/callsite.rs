@@ -90,6 +90,29 @@ impl CallSiteReport {
             .filter(|s| s.class == CallSiteClass::Unchecked)
             .collect()
     }
+
+    /// Iterate over the sites with a given classification.
+    pub fn sites_with_class(&self, class: CallSiteClass) -> impl Iterator<Item = &SiteFinding> {
+        self.sites.iter().filter(move |s| s.class == class)
+    }
+}
+
+/// Iterate over every `(function, site)` pair of a batch of reports — the
+/// flattened view campaign engines annotate their fault space from.
+pub fn iter_sites(
+    reports: &[CallSiteReport],
+) -> impl Iterator<Item = (&CallSiteReport, &SiteFinding)> {
+    reports
+        .iter()
+        .flat_map(|r| r.sites.iter().map(move |s| (r, s)))
+}
+
+/// Iterate over every unchecked `(function, site)` pair of a batch of
+/// reports — the paper's prime injection targets.
+pub fn unchecked_sites(
+    reports: &[CallSiteReport],
+) -> impl Iterator<Item = (&CallSiteReport, &SiteFinding)> {
+    iter_sites(reports).filter(|(_, s)| s.class == CallSiteClass::Unchecked)
 }
 
 /// Classify a check summary against the error-code set `E`, per Algorithm 1.
@@ -340,6 +363,31 @@ mod tests {
         assert_eq!(open_report.sites[0].class, CallSiteClass::Unchecked);
         let malloc_report = reports.iter().find(|r| r.function == "malloc").unwrap();
         assert_eq!(malloc_report.sites[0].class, CallSiteClass::Checked);
+    }
+
+    #[test]
+    fn site_iteration_flattens_reports() {
+        let module = compile(
+            r#"
+            int a() { int fd = open("/a", O_RDONLY, 0); if (fd == -1) { return 1; } return 0; }
+            int b() { int fd = open("/b", O_RDONLY, 0); return fd; }
+            "#,
+        );
+        let reports = vec![analyze_call_sites(
+            &module,
+            "open",
+            &[-1],
+            AnalysisConfig::default(),
+        )];
+        assert_eq!(iter_sites(&reports).count(), 2);
+        let unchecked: Vec<_> = unchecked_sites(&reports).collect();
+        assert_eq!(unchecked.len(), 1);
+        assert_eq!(unchecked[0].0.function, "open");
+        assert_eq!(unchecked[0].1.caller.as_deref(), Some("b"));
+        assert_eq!(
+            reports[0].sites_with_class(CallSiteClass::Checked).count(),
+            1
+        );
     }
 
     #[test]

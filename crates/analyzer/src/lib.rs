@@ -18,8 +18,8 @@ pub mod dataflow;
 pub mod recovery;
 
 pub use callsite::{
-    analyze_call_sites, analyze_program, confusion_matrix, AnalysisConfig, CallSiteClass,
-    CallSiteReport, ConfusionMatrix, SiteFinding,
+    analyze_call_sites, analyze_program, confusion_matrix, iter_sites, unchecked_sites,
+    AnalysisConfig, CallSiteClass, CallSiteReport, ConfusionMatrix, SiteFinding,
 };
 pub use cfg::{build_partial_cfg, PartialCfg};
 pub use dataflow::{analyze_checks, CheckSummary, TrackedLoc};

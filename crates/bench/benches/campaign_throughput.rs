@@ -1,0 +1,44 @@
+//! Criterion benchmark of campaign throughput (scenarios per second):
+//! the same git-lite fault-space sweep drained by one worker vs four.
+//! The worker pool should scale: jobs=4 must beat jobs=1 wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lfi_campaign::{
+    Campaign, CampaignConfig, CampaignState, Exhaustive, FaultSpace, StandardExecutor,
+};
+use lfi_targets::standard_controller;
+
+fn git_space(executor: &StandardExecutor) -> FaultSpace {
+    let profile = standard_controller().profile_libraries();
+    executor.fault_space(&["git-lite"], &profile)
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let executor = StandardExecutor::new();
+    let space = git_space(&executor);
+    let units = Campaign::new(space.clone(), &executor, CampaignConfig::default())
+        .units(&Exhaustive)
+        .len();
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    for jobs in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("git_lite_{units}_scenarios"), jobs),
+            &jobs,
+            |b, &jobs| {
+                let campaign =
+                    Campaign::new(space.clone(), &executor, CampaignConfig { jobs, seed: 7 });
+                b.iter(|| {
+                    let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+                    assert_eq!(report.executed_now, units);
+                    report.triage.crashes
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

@@ -1,5 +1,47 @@
-//! Regenerate one experiment of the evaluation (see lfi-bench::experiments).
+//! Regenerate the Table 1 bug hunt, run as a fault-space campaign.
+//!
+//! Usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|random] [--sample N]
+
+use std::process::exit;
+
+use lfi_bench::{table1_campaign, HuntOptions, HuntStrategy};
+
+fn usage() -> ! {
+    eprintln!("usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|random] [--sample N]");
+    exit(2);
+}
 
 fn main() {
-    println!("{}", lfi_bench::table1_bugs());
+    let mut options = HuntOptions::default();
+    let mut sample = 50usize;
+    let mut strategy_name = "exhaustive".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                options.jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--strategy" => strategy_name = args.next().unwrap_or_else(|| usage()),
+            "--sample" => {
+                sample = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    options.strategy = match strategy_name.as_str() {
+        "exhaustive" => HuntStrategy::Exhaustive,
+        "guided" => HuntStrategy::Guided,
+        "random" => HuntStrategy::Random { count: sample },
+        _ => usage(),
+    };
+
+    let result = table1_campaign(&options);
+    println!("{}", result.report);
+    println!("{}", result.table);
 }

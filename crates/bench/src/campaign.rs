@@ -1,0 +1,206 @@
+//! The Table 1 bug hunt, rewired as a fault-space exploration campaign.
+//!
+//! The hand-rolled loop that used to live in `experiments::table1_bugs` is
+//! now a thin layer over `lfi_campaign`: enumerate the fault space of the
+//! evaluation targets, pick a search strategy, drain the queue on a worker
+//! pool, and match the triaged crash records against the paper's known-bug
+//! list.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use lfi_campaign::{
+    Campaign, CampaignConfig, CampaignReport, CampaignState, Exhaustive, FaultSpace,
+    InjectionGuided, OutcomeKind, RandomSample, StandardExecutor, Strategy,
+};
+use lfi_targets::{standard_controller, KNOWN_BUGS};
+
+use crate::experiments::{FoundBug, Table1};
+
+/// The targets the Table 1 hunt sweeps.
+const HUNT_TARGETS: [&str; 4] = ["bind-lite", "git-lite", "db-lite", "bft-lite"];
+
+/// The bft-lite functions the hunt injects into (a full cluster run per
+/// fault point is expensive; the paper's PBFT bugs live behind these).
+const BFT_FUNCTIONS: [&str; 6] = ["recvfrom", "sendto", "fopen", "fwrite", "open", "close"];
+
+/// Which search strategy drives the hunt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HuntStrategy {
+    /// Every fault point.
+    Exhaustive,
+    /// A seed-deterministic random sample of `count` fault points.
+    Random {
+        /// Sample size.
+        count: usize,
+    },
+    /// Prune unreached call sites, unchecked sites first.
+    Guided,
+}
+
+/// Campaign options for the Table 1 hunt.
+#[derive(Debug, Clone, Copy)]
+pub struct HuntOptions {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Search strategy.
+    pub strategy: HuntStrategy,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for HuntOptions {
+    fn default() -> Self {
+        HuntOptions {
+            jobs: 1,
+            strategy: HuntStrategy::Exhaustive,
+            seed: 7,
+        }
+    }
+}
+
+/// The campaign-backed Table 1 result.
+#[derive(Debug, Clone)]
+pub struct Table1Campaign {
+    /// The matched known-bug table.
+    pub table: Table1,
+    /// The underlying campaign report (plan size, triage, records).
+    pub report: CampaignReport,
+}
+
+/// Enumerate the Table 1 fault space: every call site of every profiled
+/// failing function of the single-process targets, plus the cluster
+/// target restricted to its harness functions — annotated with analyzer
+/// classifications and baseline reachability.
+pub fn table1_fault_space(executor: &StandardExecutor) -> FaultSpace {
+    let profile = standard_controller().profile_libraries();
+    let mut space = executor.fault_space(&HUNT_TARGETS, &profile);
+    space.retain(|p| p.target != "bft-lite" || BFT_FUNCTIONS.contains(&p.function.as_str()));
+    executor.annotate_baseline_reachability(&mut space);
+    space
+}
+
+/// Run the Table 1 bug hunt as a campaign.
+pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
+    let executor = StandardExecutor::new();
+    let space = table1_fault_space(&executor);
+    let campaign = Campaign::new(
+        space,
+        &executor,
+        CampaignConfig {
+            jobs: options.jobs,
+            seed: options.seed,
+        },
+    );
+    let strategy: Box<dyn Strategy> = match options.strategy {
+        HuntStrategy::Exhaustive => Box::new(Exhaustive),
+        HuntStrategy::Random { count } => Box::new(RandomSample {
+            count,
+            seed: options.seed,
+        }),
+        HuntStrategy::Guided => Box::new(InjectionGuided),
+    };
+    let report = campaign.run(strategy.as_ref(), &mut CampaignState::default());
+    Table1Campaign {
+        table: match_known_bugs(&report),
+        report,
+    }
+}
+
+/// Match a campaign's records against the paper's known-bug list, exactly
+/// like the original Table 1 accounting: crashes are attributed to
+/// `(injected function, caller)` pairs, distinct call-site offsets claim
+/// distinct bugs, and the Git data-loss bug is detected from a passing
+/// commit run that absorbed a setenv injection.
+pub fn match_known_bugs(report: &CampaignReport) -> Table1 {
+    let mut crash_sites: BTreeMap<(String, String), BTreeSet<u64>> = BTreeMap::new();
+    let mut data_loss_found = false;
+
+    for record in &report.records {
+        if record.target == "bft-lite" {
+            // Attribute each cluster crash to every function on the failure
+            // path: the one containing the faulting instruction plus the
+            // backtrace frames.
+            for crash in &record.crashes {
+                let mut involved: BTreeSet<String> = crash.backtrace.iter().cloned().collect();
+                if let Some(function) = &crash.in_function {
+                    involved.insert(function.clone());
+                }
+                for caller in involved {
+                    crash_sites
+                        .entry((record.function.clone(), caller))
+                        .or_default()
+                        .insert(record.offset);
+                }
+            }
+            continue;
+        }
+
+        // The Git data-loss bug: the commit succeeds but the record lacks
+        // its author after a failed (injected) setenv.
+        if record.target == "git-lite"
+            && record.function == "setenv"
+            && record.args.first().map(String::as_str) == Some("commit")
+            && record.injections > 0
+            && record.outcome == OutcomeKind::Passed
+        {
+            data_loss_found = true;
+        }
+
+        if !record.outcome.is_crash() {
+            continue;
+        }
+        let fallback = record
+            .crashes
+            .first()
+            .and_then(|c| c.backtrace.first().cloned())
+            .unwrap_or_default();
+        for site in &record.injected_sites {
+            let caller = site.caller.clone().unwrap_or_else(|| fallback.clone());
+            crash_sites
+                .entry((record.function.clone(), caller))
+                .or_default()
+                .insert(site.offset);
+        }
+    }
+
+    let mut result = Table1 {
+        runs: report.records.len(),
+        ..Table1::default()
+    };
+    let mut claimed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for bug in KNOWN_BUGS {
+        if !bug.crashes {
+            if data_loss_found {
+                result.found.push(FoundBug {
+                    id: bug.id.to_string(),
+                    system: bug.system.to_string(),
+                    injected_function: bug.injected_function.to_string(),
+                    caller: bug.manifests_in.to_string(),
+                    manifestation: "silent data loss (commit without author)".to_string(),
+                });
+            } else {
+                result.missed.push(bug.id.to_string());
+            }
+            continue;
+        }
+        let key = (
+            bug.injected_function.to_string(),
+            bug.manifests_in.to_string(),
+        );
+        let available = crash_sites.get(&key).map(|s| s.len()).unwrap_or(0);
+        let used = claimed.entry(key.clone()).or_insert(0);
+        if *used < available {
+            *used += 1;
+            result.found.push(FoundBug {
+                id: bug.id.to_string(),
+                system: bug.system.to_string(),
+                injected_function: bug.injected_function.to_string(),
+                caller: bug.manifests_in.to_string(),
+                manifestation: "crash".to_string(),
+            });
+        } else {
+            result.missed.push(bug.id.to_string());
+        }
+    }
+    result
+}

@@ -75,197 +75,14 @@ impl fmt::Display for Table1 {
     }
 }
 
-fn record_crash_sites(
-    report: &lfi_core::TestReport,
-    function: &str,
-    crash_sites: &mut BTreeMap<(String, String), BTreeSet<u64>>,
-) {
-    if !report.outcome.is_crash() {
-        return;
-    }
-    // Attribute the crash to the caller of the injected call site.
-    for record in &report.injections.records {
-        if record.function == function {
-            let caller = report
-                .fault
-                .as_ref()
-                .and_then(|fault| {
-                    fault
-                        .backtrace
-                        .first()
-                        .and_then(|frame| frame.function.clone())
-                })
-                .unwrap_or_default();
-            let caller_of_injection = record.call_site.clone();
-            let caller_name = lookup_caller(&caller_of_injection);
-            let key = (
-                function.to_string(),
-                if caller_name.is_empty() {
-                    caller
-                } else {
-                    caller_name
-                },
-            );
-            crash_sites
-                .entry(key)
-                .or_default()
-                .insert(record.call_site.1);
-        }
-    }
-}
-
-fn lookup_caller(call_site: &(String, u64)) -> String {
-    let module = match call_site.0.as_str() {
-        "bind-lite" => bind_lite(),
-        "git-lite" => git_lite(),
-        "db-lite" => db_lite(),
-        "bft-lite" => bft_lite(),
-        "httpd-lite" => httpd_lite(),
-        _ => return String::new(),
-    };
-    module
-        .containing_function(call_site.1)
-        .map(|e| e.name.clone())
-        .unwrap_or_default()
-}
-
 /// Run the Table 1 experiment: analyzer-generated scenarios, applied with no
 /// modifications, one call site at a time, against each system's default
-/// workloads.
+/// workloads. Since the campaign rewire this is a thin wrapper over
+/// [`crate::campaign::table1_campaign`] with the default (exhaustive,
+/// single-worker) options; use that entry point directly for parallel or
+/// strategy-driven hunts.
 pub fn table1_bugs() -> Table1 {
-    let controller = standard_controller();
-    let profile = controller.profile_libraries();
-    let mut crash_sites: BTreeMap<(String, String), BTreeSet<u64>> = BTreeMap::new();
-    let mut data_loss_found = false;
-    let mut runs = 0usize;
-
-    // Single-process targets.
-    for (target, exe) in [
-        ("bind-lite", bind_lite()),
-        ("git-lite", git_lite()),
-        ("db-lite", db_lite()),
-    ] {
-        let functions: Vec<String> = exe
-            .imported_functions()
-            .into_iter()
-            .filter(|f| {
-                profile
-                    .function(f)
-                    .map(|p| !p.error_cases.is_empty())
-                    .unwrap_or(false)
-            })
-            .collect();
-        for (function, offset) in all_sites(&exe, &functions) {
-            let scenario = single_site_scenario(target, &function, offset, &profile);
-            for args in default_test_suite(target) {
-                runs += 1;
-                let report = run_target(
-                    target,
-                    &exe,
-                    &scenario,
-                    args.clone(),
-                    false,
-                    7 + runs as u64,
-                );
-                record_crash_sites(&report, &function, &mut crash_sites);
-                // The Git data-loss bug: the commit succeeds but the record
-                // lacks its author after a failed (injected) setenv.
-                if target == "git-lite"
-                    && function == "setenv"
-                    && args.first().map(String::as_str) == Some("commit")
-                    && report.injections.injection_count() > 0
-                    && matches!(report.outcome, TestOutcome::Passed)
-                {
-                    data_loss_found = true;
-                }
-            }
-        }
-    }
-
-    // PBFT: the distributed target runs as a 4-replica cluster.
-    {
-        let exe = bft_lite();
-        let functions: Vec<String> = exe
-            .imported_functions()
-            .into_iter()
-            .filter(|f| {
-                matches!(
-                    f.as_str(),
-                    "recvfrom" | "sendto" | "fopen" | "fwrite" | "open" | "close"
-                )
-            })
-            .collect();
-        for (function, offset) in all_sites(&exe, &functions) {
-            let scenario = single_site_scenario("bft-lite", &function, offset, &profile);
-            runs += 1;
-            let result = run_bft_cluster(&BftClusterConfig {
-                requests: 4,
-                scenario,
-                ..BftClusterConfig::default()
-            });
-            for (_node, fault) in &result.crashes {
-                // Attribute the crash to every function on the failure path:
-                // the one containing the faulting instruction plus the
-                // functions appearing in the backtrace.
-                let mut involved: BTreeSet<String> = fault
-                    .backtrace
-                    .iter()
-                    .filter_map(|frame| frame.function.clone())
-                    .collect();
-                if fault.module == "bft-lite" {
-                    involved.insert(lookup_caller(&("bft-lite".to_string(), fault.offset)));
-                }
-                for caller in involved {
-                    crash_sites
-                        .entry((function.clone(), caller))
-                        .or_default()
-                        .insert(offset);
-                }
-            }
-        }
-    }
-
-    // Match the observed crash sites against the known-bug list.
-    let mut result = Table1 {
-        runs,
-        ..Table1::default()
-    };
-    let mut claimed: BTreeMap<(String, String), usize> = BTreeMap::new();
-    for bug in KNOWN_BUGS {
-        if !bug.crashes {
-            if data_loss_found {
-                result.found.push(FoundBug {
-                    id: bug.id.to_string(),
-                    system: bug.system.to_string(),
-                    injected_function: bug.injected_function.to_string(),
-                    caller: bug.manifests_in.to_string(),
-                    manifestation: "silent data loss (commit without author)".to_string(),
-                });
-            } else {
-                result.missed.push(bug.id.to_string());
-            }
-            continue;
-        }
-        let key = (
-            bug.injected_function.to_string(),
-            bug.manifests_in.to_string(),
-        );
-        let available = crash_sites.get(&key).map(|s| s.len()).unwrap_or(0);
-        let used = claimed.entry(key.clone()).or_insert(0);
-        if *used < available {
-            *used += 1;
-            result.found.push(FoundBug {
-                id: bug.id.to_string(),
-                system: bug.system.to_string(),
-                injected_function: bug.injected_function.to_string(),
-                caller: bug.manifests_in.to_string(),
-                manifestation: "crash".to_string(),
-            });
-        } else {
-            result.missed.push(bug.id.to_string());
-        }
-    }
-    result
+    crate::campaign::table1_campaign(&crate::campaign::HuntOptions::default()).table
 }
 
 // ---------------------------------------------------------------------------

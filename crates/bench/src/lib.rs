@@ -6,9 +6,13 @@
 //! wrappers; `run_all` regenerates everything in one go (and is what
 //! `EXPERIMENTS.md` is produced from).
 
+pub mod campaign;
 pub mod experiments;
 pub mod support;
 
+pub use campaign::{
+    table1_campaign, table1_fault_space, HuntOptions, HuntStrategy, Table1Campaign,
+};
 pub use experiments::{
     analyzer_efficiency, dos_study, figure3_pbft_slowdown, random_injection_sweep, table1_bugs,
     table2_precision, table3_coverage, table4_accuracy, table5_apache_overhead,

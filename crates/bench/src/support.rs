@@ -1,42 +1,20 @@
 //! Shared plumbing for the experiment harnesses.
 
-use std::collections::BTreeMap;
-
-use lfi_core::{
-    Controller, FrameSpec, FunctionAssoc, Scenario, TestConfig, TestReport, TriggerDecl, Workload,
-};
+use lfi_core::{Controller, Scenario, TestConfig, TestReport, Workload};
 use lfi_obj::Module;
 use lfi_profiler::FaultProfile;
-use lfi_targets::{standard_controller, BindWorkload, FsSetupWorkload};
-use lfi_vm::NetHandle;
 
 /// The per-target workloads that constitute each system's "default test
-/// suite" in the reproduction (program arguments per run).
+/// suite" in the reproduction (program arguments per run). Canonically
+/// defined alongside the campaign executor; re-exported here for the
+/// experiment harnesses.
 pub fn default_test_suite(target: &str) -> Vec<Vec<String>> {
-    match target {
-        "git-lite" => vec![
-            vec!["init".into()],
-            vec!["add".into(), "/repo/README.md".into()],
-            vec!["add".into(), "/repo/main.c".into()],
-            vec!["commit".into(), "initial".into()],
-            vec!["log".into()],
-            vec!["diff".into(), "3".into(), "4".into()],
-            vec!["check-head".into()],
-        ],
-        "db-lite" => vec![
-            vec!["bootstrap".into()],
-            vec!["oltp".into(), "30".into(), "1".into()],
-            vec!["oltp".into(), "30".into(), "0".into()],
-            vec!["merge-big".into(), "2".into()],
-        ],
-        "bind-lite" => vec![vec!["4".into()]],
-        "httpd-lite" => vec![vec!["50".into(), "1".into()], vec!["50".into(), "2".into()]],
-        other => panic!("no default test suite for {other}"),
-    }
+    lfi_campaign::default_test_suite(target)
 }
 
 /// Run one workload of a target under a scenario, wiring up the right
 /// workload type (bind-lite needs the networked client workload).
+/// Canonically defined alongside the campaign executor.
 pub fn run_target(
     target: &str,
     exe: &Module,
@@ -45,31 +23,7 @@ pub fn run_target(
     record_coverage: bool,
     seed: u64,
 ) -> TestReport {
-    let config = TestConfig {
-        args,
-        record_coverage,
-        seed,
-        ..TestConfig::default()
-    };
-    if target == "bind-lite" {
-        let net = NetHandle::default();
-        let controller = lfi_targets::networked_controller(net.clone());
-        let mut workload = BindWorkload::typical(net);
-        let config = TestConfig {
-            args: vec![workload.request_count().to_string()],
-            record_coverage,
-            seed,
-            ..TestConfig::default()
-        };
-        controller
-            .run_test(exe, scenario, &mut workload, &config)
-            .expect("bind-lite run")
-    } else {
-        let controller = standard_controller();
-        controller
-            .run_test(exe, scenario, &mut FsSetupWorkload, &config)
-            .expect("target run")
-    }
+    lfi_campaign::run_target(target, exe, scenario, args, record_coverage, seed)
 }
 
 /// Run a target with a custom workload object on a pre-built controller.
@@ -101,25 +55,7 @@ pub fn single_site_scenario(
             retval: -1,
             errno: Some(lfi_arch::errno::EIO),
         });
-    let id = format!("{function}_{offset:x}");
-    Scenario::new()
-        .with_trigger(TriggerDecl {
-            id: id.clone(),
-            class: "CallStackTrigger".into(),
-            params: BTreeMap::new(),
-            frames: vec![FrameSpec {
-                module: Some(program.to_string()),
-                offset: Some(offset),
-                ..FrameSpec::default()
-            }],
-        })
-        .with_function(FunctionAssoc {
-            function: function.to_string(),
-            argc: 3,
-            retval: Some(case.retval),
-            errno: case.errno,
-            triggers: vec![id],
-        })
+    Scenario::single_fault_point(program, function, offset, case.retval, case.errno)
 }
 
 /// Every (function, call-site offset) pair of the listed functions in a

@@ -1,0 +1,479 @@
+//! The campaign engine: a work queue of concrete scenarios executed on a
+//! parallel worker pool.
+//!
+//! The engine expands a strategy's plan into [`WorkUnit`]s (one per selected
+//! fault point and workload), skips units a resumed [`CampaignState`] has
+//! already completed, and drains the remainder on `jobs` worker threads.
+//! Each worker pulls units off a shared cursor and hands them to the
+//! [`Executor`], which builds a **fresh VM instance per unit** — runs share
+//! nothing but the immutable target modules, so results are independent of
+//! the worker count and interleaving.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use lfi_core::Scenario;
+
+use crate::space::{FaultPoint, FaultSpace};
+use crate::state::CampaignState;
+use crate::strategy::Strategy;
+use crate::triage::{triage, CampaignReport};
+
+/// How one campaign run ended, from the triage point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Exit code 0.
+    Passed,
+    /// Clean non-zero exit.
+    CleanFailure(i64),
+    /// Crash (the interesting case).
+    Crashed,
+    /// Budget exhausted or all threads blocked.
+    Hung,
+}
+
+impl OutcomeKind {
+    /// Whether this outcome is a crash.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, OutcomeKind::Crashed)
+    }
+}
+
+/// One observed crash, with enough context to form a signature and to match
+/// known bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashInfo {
+    /// Module containing the faulting instruction.
+    pub module: String,
+    /// Code offset of the faulting instruction.
+    pub offset: u64,
+    /// Human-readable description (fault kind and location).
+    pub description: String,
+    /// Function containing the faulting instruction, if resolvable.
+    pub in_function: Option<String>,
+    /// Symbolized backtrace function names, innermost first.
+    pub backtrace: Vec<String>,
+}
+
+/// One call site where the unit's fault was actually injected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedSite {
+    /// Module of the call site.
+    pub module: String,
+    /// Code offset of the call site.
+    pub offset: u64,
+    /// Function containing the call site, if resolvable.
+    pub caller: Option<String>,
+}
+
+/// The executor-produced result of one work unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// Interpreted outcome.
+    pub outcome: OutcomeKind,
+    /// Number of injections performed.
+    pub injections: u64,
+    /// Call sites where the unit's function was failed.
+    pub injected_sites: Vec<InjectedSite>,
+    /// Observed crashes (a cluster target may produce several).
+    pub crashes: Vec<CrashInfo>,
+    /// Virtual time consumed.
+    pub virtual_time: u64,
+}
+
+/// One unit of campaign work: a single-fault-point scenario applied to one
+/// workload of the target's test suite.
+#[derive(Debug, Clone)]
+pub struct WorkUnit {
+    /// Stable unit id (index into the strategy's expanded plan). Resuming
+    /// the same strategy over the same space reproduces the same ids.
+    pub id: usize,
+    /// The fault point under test.
+    pub point: FaultPoint,
+    /// The compiled scenario.
+    pub scenario: Scenario,
+    /// Workload arguments.
+    pub args: Vec<String>,
+    /// Seed for the run (derived from the campaign seed and unit id, so
+    /// results do not depend on scheduling).
+    pub seed: u64,
+}
+
+/// The durable record of one executed unit: everything triage and
+/// known-bug matching need, and what [`CampaignState`] persists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Unit id.
+    pub unit: usize,
+    /// Target program.
+    pub target: String,
+    /// Injected library function.
+    pub function: String,
+    /// Fault-point call-site offset.
+    pub offset: u64,
+    /// Workload arguments.
+    pub args: Vec<String>,
+    /// Interpreted outcome.
+    pub outcome: OutcomeKind,
+    /// Number of injections performed.
+    pub injections: u64,
+    /// Call sites where the function was failed.
+    pub injected_sites: Vec<InjectedSite>,
+    /// Observed crashes.
+    pub crashes: Vec<CrashInfo>,
+    /// Virtual time consumed.
+    pub virtual_time: u64,
+}
+
+/// Runs work units against real targets. Implementations must be shareable
+/// across worker threads; every `execute` call is expected to build a fresh
+/// VM so units never share mutable state.
+pub trait Executor: Sync {
+    /// The workload argument lists forming `target`'s default test suite.
+    /// Every selected fault point is run once per workload.
+    fn workloads(&self, target: &str) -> Vec<Vec<String>>;
+
+    /// Execute one unit on a fresh VM instance.
+    fn execute(&self, unit: &WorkUnit) -> Execution;
+}
+
+/// Campaign configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Number of worker threads (clamped to at least 1).
+    pub jobs: usize,
+    /// Base seed; unit seeds are derived from it and the unit id.
+    pub seed: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { jobs: 1, seed: 7 }
+    }
+}
+
+/// A fault-space exploration campaign.
+pub struct Campaign<'a> {
+    space: FaultSpace,
+    executor: &'a dyn Executor,
+    config: CampaignConfig,
+}
+
+impl<'a> Campaign<'a> {
+    /// Create a campaign over `space`, executing with `executor`.
+    pub fn new(space: FaultSpace, executor: &'a dyn Executor, config: CampaignConfig) -> Self {
+        Campaign {
+            space,
+            executor,
+            config,
+        }
+    }
+
+    /// The fault space under exploration.
+    pub fn space(&self) -> &FaultSpace {
+        &self.space
+    }
+
+    /// Expand a strategy's plan into the ordered work-unit queue: one unit
+    /// per selected fault point and workload of its target.
+    pub fn units(&self, strategy: &dyn Strategy) -> Vec<WorkUnit> {
+        self.units_from_plan(&strategy.plan(&self.space))
+    }
+
+    fn units_from_plan(&self, plan: &[usize]) -> Vec<WorkUnit> {
+        let mut units = Vec::new();
+        for &point_index in plan {
+            let point = &self.space.points[point_index];
+            let scenario = point.scenario();
+            for args in self.executor.workloads(&point.target) {
+                let id = units.len();
+                units.push(WorkUnit {
+                    id,
+                    point: point.clone(),
+                    scenario: scenario.clone(),
+                    args,
+                    seed: self.config.seed.wrapping_add(id as u64),
+                });
+            }
+        }
+        units
+    }
+
+    /// Run the campaign: execute every unit of the strategy's plan that
+    /// `state` has not already completed, on `jobs` workers, then triage all
+    /// accumulated records (previous sessions included) into a report.
+    ///
+    /// `state` is updated in place; persist it with
+    /// [`CampaignState::to_json`] to make the campaign resumable.
+    pub fn run(&self, strategy: &dyn Strategy, state: &mut CampaignState) -> CampaignReport {
+        // The state tag covers the strategy's plan identity AND the fault
+        // space: unit ids are indices into this exact plan over this exact
+        // space, so a resume against anything else must start fresh.
+        let tag = format!("{}@{:016x}", strategy.fingerprint(), self.space.digest());
+        state.adopt(&tag, self.config.seed);
+        let plan = strategy.plan(&self.space);
+        let units = self.units_from_plan(&plan);
+        let pending: Vec<&WorkUnit> = units.iter().filter(|u| !state.completed(u.id)).collect();
+
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
+        let jobs = self.config.jobs.max(1);
+        thread::scope(|scope| {
+            for _ in 0..jobs.min(pending.len().max(1)) {
+                scope.spawn(|| loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(unit) = pending.get(next) else {
+                        break;
+                    };
+                    let execution = self.executor.execute(unit);
+                    let record = RunRecord {
+                        unit: unit.id,
+                        target: unit.point.target.clone(),
+                        function: unit.point.function.clone(),
+                        offset: unit.point.offset,
+                        args: unit.args.clone(),
+                        outcome: execution.outcome,
+                        injections: execution.injections,
+                        injected_sites: execution.injected_sites,
+                        crashes: execution.crashes,
+                        virtual_time: execution.virtual_time,
+                    };
+                    results.lock().unwrap().push(record);
+                });
+            }
+        });
+
+        let mut fresh = results.into_inner().unwrap();
+        fresh.sort_by_key(|r| r.unit);
+        let executed_now = fresh.len();
+        for record in fresh {
+            state.push(record);
+        }
+
+        CampaignReport {
+            strategy: strategy.name().to_string(),
+            space_size: self.space.len(),
+            planned_points: plan.len(),
+            units_total: units.len(),
+            executed_now,
+            triage: triage(state.records()),
+            records: state.records().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::AtomicUsize;
+
+    use crate::strategy::Exhaustive;
+
+    use super::*;
+
+    /// A synthetic executor: "crashes" whenever the fault-point offset is a
+    /// multiple of 8, and counts how many executions happened.
+    struct FakeExecutor {
+        executions: AtomicUsize,
+    }
+
+    impl Executor for FakeExecutor {
+        fn workloads(&self, _target: &str) -> Vec<Vec<String>> {
+            vec![vec!["a".into()], vec!["b".into()]]
+        }
+
+        fn execute(&self, unit: &WorkUnit) -> Execution {
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            let crashes = if unit.point.offset.is_multiple_of(8) {
+                vec![CrashInfo {
+                    module: unit.point.target.clone(),
+                    offset: unit.point.offset + 100,
+                    description: "segfault".into(),
+                    in_function: Some("victim".into()),
+                    backtrace: vec!["victim".into(), "main".into()],
+                }]
+            } else {
+                Vec::new()
+            };
+            Execution {
+                outcome: if crashes.is_empty() {
+                    OutcomeKind::Passed
+                } else {
+                    OutcomeKind::Crashed
+                },
+                injections: 1,
+                injected_sites: vec![InjectedSite {
+                    module: unit.point.target.clone(),
+                    offset: unit.point.offset,
+                    caller: unit.point.caller.clone(),
+                }],
+                crashes,
+                virtual_time: 10,
+            }
+        }
+    }
+
+    fn demo_space(points: usize) -> FaultSpace {
+        FaultSpace {
+            points: (0..points)
+                .map(|i| crate::space::FaultPoint {
+                    target: "demo".into(),
+                    function: "read".into(),
+                    offset: (i as u64) * 4,
+                    caller: Some("main".into()),
+                    retval: -1,
+                    errno: None,
+                    class: None,
+                    reached: None,
+                })
+                .collect(),
+        }
+    }
+
+    fn scenario_map(units: &[WorkUnit]) -> BTreeMap<usize, (u64, Vec<String>)> {
+        units
+            .iter()
+            .map(|u| (u.id, (u.point.offset, u.args.clone())))
+            .collect()
+    }
+
+    #[test]
+    fn units_expand_points_by_workload_deterministically() {
+        let executor = FakeExecutor {
+            executions: AtomicUsize::new(0),
+        };
+        let campaign = Campaign::new(demo_space(3), &executor, CampaignConfig::default());
+        let units = campaign.units(&Exhaustive);
+        assert_eq!(units.len(), 6, "3 points x 2 workloads");
+        assert_eq!(
+            scenario_map(&units),
+            scenario_map(&campaign.units(&Exhaustive))
+        );
+        for unit in &units {
+            unit.scenario.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn parallel_runs_match_serial_runs() {
+        let serial_exec = FakeExecutor {
+            executions: AtomicUsize::new(0),
+        };
+        let campaign = Campaign::new(
+            demo_space(9),
+            &serial_exec,
+            CampaignConfig { jobs: 1, seed: 7 },
+        );
+        let mut serial_state = CampaignState::default();
+        let serial = campaign.run(&Exhaustive, &mut serial_state);
+
+        let parallel_exec = FakeExecutor {
+            executions: AtomicUsize::new(0),
+        };
+        let campaign = Campaign::new(
+            demo_space(9),
+            &parallel_exec,
+            CampaignConfig { jobs: 4, seed: 7 },
+        );
+        let mut parallel_state = CampaignState::default();
+        let parallel = campaign.run(&Exhaustive, &mut parallel_state);
+
+        assert_eq!(serial.records, parallel.records);
+        assert_eq!(serial.triage.buckets.len(), parallel.triage.buckets.len());
+        assert_eq!(parallel_exec.executions.load(Ordering::Relaxed), 18);
+    }
+
+    /// An executor that blocks until `expected` workers are inside
+    /// `execute` at the same time — proof the pool genuinely overlaps work
+    /// (wall-clock scaling then only depends on available cores).
+    struct RendezvousExecutor {
+        expected: usize,
+        inside: std::sync::Mutex<usize>,
+        all_in: std::sync::Condvar,
+    }
+
+    impl Executor for RendezvousExecutor {
+        fn workloads(&self, _target: &str) -> Vec<Vec<String>> {
+            vec![vec![]]
+        }
+
+        fn execute(&self, _unit: &WorkUnit) -> Execution {
+            let mut inside = self.inside.lock().unwrap();
+            *inside += 1;
+            if *inside >= self.expected {
+                self.all_in.notify_all();
+            } else {
+                // Wait (bounded) until every other worker has arrived; a
+                // serial pool would deadlock here and hit the timeout.
+                let deadline = std::time::Duration::from_secs(10);
+                while *inside < self.expected {
+                    let (guard, result) = self.all_in.wait_timeout(inside, deadline).unwrap();
+                    inside = guard;
+                    assert!(
+                        !result.timed_out(),
+                        "workers never overlapped: the pool is not parallel"
+                    );
+                }
+            }
+            Execution {
+                outcome: OutcomeKind::Passed,
+                injections: 0,
+                injected_sites: vec![],
+                crashes: vec![],
+                virtual_time: 1,
+            }
+        }
+    }
+
+    #[test]
+    fn workers_execute_units_concurrently() {
+        let executor = RendezvousExecutor {
+            expected: 4,
+            inside: std::sync::Mutex::new(0),
+            all_in: std::sync::Condvar::new(),
+        };
+        let campaign = Campaign::new(
+            demo_space(4),
+            &executor,
+            CampaignConfig { jobs: 4, seed: 7 },
+        );
+        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+        assert_eq!(report.executed_now, 4);
+    }
+
+    #[test]
+    fn resumed_campaigns_skip_completed_units() {
+        let executor = FakeExecutor {
+            executions: AtomicUsize::new(0),
+        };
+        let campaign = Campaign::new(demo_space(4), &executor, CampaignConfig::default());
+        let mut state = CampaignState::default();
+        let first = campaign.run(&Exhaustive, &mut state);
+        assert_eq!(first.executed_now, 8);
+
+        // Round-trip the state through JSON, then run again: nothing left.
+        let mut resumed = CampaignState::from_json(&state.to_json()).unwrap();
+        let second = campaign.run(&Exhaustive, &mut resumed);
+        assert_eq!(second.executed_now, 0, "all units already completed");
+        assert_eq!(second.records, first.records);
+        assert_eq!(executor.executions.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn resuming_against_a_different_fault_space_starts_fresh() {
+        let executor = FakeExecutor {
+            executions: AtomicUsize::new(0),
+        };
+        let campaign = Campaign::new(demo_space(3), &executor, CampaignConfig::default());
+        let mut state = CampaignState::default();
+        campaign.run(&Exhaustive, &mut state);
+
+        // Same strategy and seed, but the space grew: the stale unit ids
+        // must be discarded, not misapplied.
+        let grown = Campaign::new(demo_space(4), &executor, CampaignConfig::default());
+        let report = grown.run(&Exhaustive, &mut state);
+        assert_eq!(report.executed_now, 8, "all units of the new plan re-ran");
+        assert_eq!(report.records.len(), 8);
+    }
+}

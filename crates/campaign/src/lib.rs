@@ -1,0 +1,63 @@
+//! Fault-injection campaigns: parallel exploration of a target's fault
+//! space with pluggable search strategies.
+//!
+//! The paper's workflow — profile the library, analyze call sites, generate
+//! scenarios, run, triage — is a *loop over a fault space*: hundreds of
+//! `(call site, library function, error case)` points per target. This
+//! crate turns that loop into a subsystem:
+//!
+//! * [`space`] — enumerate the fault space from a [`FaultProfile`] and the
+//!   target binary, and annotate it with analyzer classifications and
+//!   baseline reachability;
+//! * [`strategy`] — decide what to explore and in what order:
+//!   [`Exhaustive`], seed-deterministic [`RandomSample`], and
+//!   [`InjectionGuided`] (prune unreached call sites, explore
+//!   analyzer-flagged unchecked sites first — the paper's accuracy insight
+//!   as a search policy);
+//! * [`engine`] — expand the plan into work units and drain them on a
+//!   parallel worker pool, each unit on a fresh VM;
+//! * [`triage`] — deduplicate failures into crash signatures, so the report
+//!   lists bugs, not runs;
+//! * [`state`] — persist completed units as JSON and resume interrupted
+//!   campaigns;
+//! * [`standard`] — a ready-made [`Executor`] for the stock `*-lite`
+//!   evaluation targets.
+//!
+//! ```
+//! use lfi_campaign::{
+//!     Campaign, CampaignConfig, CampaignState, InjectionGuided, StandardExecutor,
+//! };
+//! use lfi_targets::standard_controller;
+//!
+//! let executor = StandardExecutor::new();
+//! let profile = standard_controller().profile_libraries();
+//! let mut space = executor.fault_space(&["git-lite"], &profile);
+//! space.retain(|p| p.function == "opendir");
+//! executor.annotate_baseline_reachability(&mut space);
+//!
+//! let campaign = Campaign::new(space, &executor, CampaignConfig { jobs: 2, seed: 7 });
+//! let mut state = CampaignState::default();
+//! let report = campaign.run(&InjectionGuided, &mut state);
+//! assert!(report.triage.distinct_crashes() > 0); // the git-readdir-null bug
+//! ```
+
+pub mod engine;
+pub mod space;
+pub mod standard;
+pub mod state;
+pub mod strategy;
+pub mod triage;
+
+pub use engine::{
+    Campaign, CampaignConfig, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, RunRecord,
+    WorkUnit,
+};
+pub use space::{FaultPoint, FaultSpace};
+pub use standard::{default_test_suite, run_target, StandardExecutor};
+pub use state::CampaignState;
+pub use strategy::{Exhaustive, InjectionGuided, RandomSample, Strategy};
+pub use triage::{triage, CampaignReport, CrashSignature, SignatureBucket, Triage};
+
+// Re-exported so downstream code can name profile types without an extra
+// dependency edge.
+pub use lfi_profiler::FaultProfile;

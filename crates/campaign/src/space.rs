@@ -1,0 +1,241 @@
+//! Fault-space enumeration.
+//!
+//! A campaign explores a **fault space**: the set of concrete fault points a
+//! target program exposes. Following the paper, one fault point is a
+//! `(call site, library function, error case)` triple — injecting the error
+//! case at exactly that call site is the unit of exploration. The space is
+//! enumerated from the library fault profile (which functions can fail, and
+//! how) and the target binary (where those functions are called), then
+//! annotated with the two signals the paper's workflow produces:
+//!
+//! * the call-site analyzer's classification (checked / partially checked /
+//!   unchecked) — unchecked sites are the prime injection targets;
+//! * baseline reachability — call sites the default test suite never
+//!   executes cannot inject, so guided strategies prune them.
+
+use lfi_analyzer::{CallSiteClass, CallSiteReport};
+use lfi_arch::Word;
+use lfi_core::Scenario;
+use lfi_obj::Module;
+use lfi_profiler::FaultProfile;
+use lfi_vm::Coverage;
+
+/// One concrete fault point: inject `retval`/`errno` into `function` at the
+/// call site `offset` of `target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// Target program (module) name.
+    pub target: String,
+    /// Library function whose failure is injected.
+    pub function: String,
+    /// Code offset of the call site in the target binary.
+    pub offset: u64,
+    /// Function containing the call site, if known.
+    pub caller: Option<String>,
+    /// Injected return value (from the fault profile's representative case).
+    pub retval: Word,
+    /// Injected errno side effect.
+    pub errno: Option<Word>,
+    /// Analyzer classification of the call site, when annotated.
+    pub class: Option<CallSiteClass>,
+    /// Whether the baseline suite reaches the call site, when annotated.
+    pub reached: Option<bool>,
+}
+
+impl FaultPoint {
+    /// Compile this fault point into its single-fault-point scenario.
+    pub fn scenario(&self) -> Scenario {
+        Scenario::single_fault_point(
+            &self.target,
+            &self.function,
+            self.offset,
+            self.retval,
+            self.errno,
+        )
+    }
+}
+
+/// The enumerated fault space of one or more target programs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSpace {
+    /// All enumerated fault points, in enumeration order.
+    pub points: Vec<FaultPoint>,
+}
+
+impl FaultSpace {
+    /// An empty fault space.
+    pub fn new() -> FaultSpace {
+        FaultSpace::default()
+    }
+
+    /// Enumerate every fault point of `target`: for each imported function
+    /// with at least one error case in `profile`, every call site, paired
+    /// with the profile's representative error case.
+    pub fn add_target(&mut self, target: &str, exe: &Module, profile: &FaultProfile) -> &mut Self {
+        for function in exe.imported_functions() {
+            let Some(func_profile) = profile.function(&function) else {
+                continue;
+            };
+            let Some(case) = func_profile.representative_case() else {
+                continue;
+            };
+            for offset in exe.call_sites_of(&function) {
+                self.points.push(FaultPoint {
+                    target: target.to_string(),
+                    function: function.clone(),
+                    offset,
+                    caller: exe.containing_function(offset).map(|e| e.name.clone()),
+                    retval: case.retval,
+                    errno: case.errno,
+                    class: None,
+                    reached: None,
+                });
+            }
+        }
+        self
+    }
+
+    /// Keep only the fault points satisfying a predicate (e.g. restrict a
+    /// target to the functions its harness exercises).
+    pub fn retain(&mut self, keep: impl FnMut(&FaultPoint) -> bool) -> &mut Self {
+        self.points.retain(keep);
+        self
+    }
+
+    /// Annotate the points of `target` with the analyzer's classification of
+    /// their call sites.
+    pub fn annotate_analysis(&mut self, target: &str, reports: &[CallSiteReport]) -> &mut Self {
+        for (report, site) in lfi_analyzer::iter_sites(reports) {
+            for point in &mut self.points {
+                if point.target == target
+                    && point.function == report.function
+                    && point.offset == site.offset
+                {
+                    point.class = Some(site.class);
+                }
+            }
+        }
+        self
+    }
+
+    /// Annotate the points of `target` with baseline reachability: a point
+    /// is reached when the baseline coverage executed its call-site offset.
+    pub fn annotate_reached(&mut self, target: &str, baseline: &Coverage) -> &mut Self {
+        for point in &mut self.points {
+            if point.target == target {
+                point.reached = Some(baseline.offset_executed(target, point.offset));
+            }
+        }
+        self
+    }
+
+    /// Number of fault points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// A stable digest of the space's identity (every point's target,
+    /// function, and offset, in order). Folded into the resumable-state tag
+    /// so a persisted campaign cannot be resumed against a different or
+    /// reordered fault space, where unit ids would no longer line up.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over the identifying fields.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for byte in bytes {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for point in &self.points {
+            mix(point.target.as_bytes());
+            mix(point.function.as_bytes());
+            mix(&point.offset.to_le_bytes());
+            mix(&[0xff]);
+        }
+        hash
+    }
+
+    /// The distinct target names present in the space, in first-seen order.
+    pub fn targets(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for point in &self.points {
+            if !names.contains(&point.target) {
+                names.push(point.target.clone());
+            }
+        }
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use lfi_cc::Compiler;
+    use lfi_obj::ModuleKind;
+
+    use super::*;
+
+    fn demo_exe() -> Module {
+        Compiler::new("demo", ModuleKind::Executable)
+            .needs("libc")
+            .add_source(
+                "demo.c",
+                r#"
+                int main() {
+                    int fd = open("/tmp/x", O_RDONLY, 0);
+                    if (fd == -1) { return 1; }
+                    int p = malloc(16);
+                    *p = 1;
+                    close(fd);
+                    return 0;
+                }
+                "#,
+            )
+            .compile()
+            .unwrap()
+    }
+
+    #[test]
+    fn enumerates_call_sites_of_failing_functions() {
+        let exe = demo_exe();
+        let profile = lfi_profiler::profile_library(&lfi_libc::build());
+        let mut space = FaultSpace::new();
+        space.add_target("demo", &exe, &profile);
+        assert!(!space.is_empty());
+        assert!(space.points.iter().any(|p| p.function == "open"));
+        assert!(space.points.iter().any(|p| p.function == "malloc"));
+        assert_eq!(space.targets(), vec!["demo"]);
+        // Every point compiles into a valid scenario.
+        for point in &space.points {
+            point.scenario().validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn annotations_mark_class_and_reachability() {
+        let exe = demo_exe();
+        let profile = lfi_profiler::profile_library(&lfi_libc::build());
+        let mut space = FaultSpace::new();
+        space.add_target("demo", &exe, &profile);
+        let reports =
+            lfi_analyzer::analyze_program(&exe, &profile, lfi_analyzer::AnalysisConfig::default());
+        space.annotate_analysis("demo", &reports);
+        let open = space.points.iter().find(|p| p.function == "open").unwrap();
+        assert_eq!(open.class, Some(CallSiteClass::Checked));
+        let malloc = space
+            .points
+            .iter()
+            .find(|p| p.function == "malloc")
+            .unwrap();
+        assert_eq!(malloc.class, Some(CallSiteClass::Unchecked));
+
+        // An empty baseline marks every point unreached.
+        space.annotate_reached("demo", &Coverage::new());
+        assert!(space.points.iter().all(|p| p.reached == Some(false)));
+    }
+}

@@ -1,0 +1,283 @@
+//! A ready-made [`Executor`] for the evaluation targets.
+//!
+//! [`StandardExecutor`] knows how to run every `*-lite` target the way the
+//! paper's experiments do: the single-process programs under their default
+//! test suites (bind-lite behind its networked client workload), and
+//! bft-lite as a full 4-replica cluster. Each `execute` call builds a fresh
+//! controller and VM, so the executor is safe to share across workers.
+
+use std::collections::BTreeMap;
+
+use lfi_core::{TestConfig, TestOutcome, TestReport};
+use lfi_obj::Module;
+use lfi_profiler::FaultProfile;
+use lfi_targets::{
+    all_targets, networked_controller, run_bft_cluster, standard_controller, BftClusterConfig,
+    BindWorkload, FsSetupWorkload,
+};
+use lfi_vm::{Coverage, Fault, NetHandle};
+
+use crate::engine::{CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, WorkUnit};
+use crate::space::FaultSpace;
+
+/// The default per-target workloads (program arguments per run) — the
+/// "default test suite" each system ships with in the reproduction.
+pub fn default_test_suite(target: &str) -> Vec<Vec<String>> {
+    match target {
+        "git-lite" => vec![
+            vec!["init".into()],
+            vec!["add".into(), "/repo/README.md".into()],
+            vec!["add".into(), "/repo/main.c".into()],
+            vec!["commit".into(), "initial".into()],
+            vec!["log".into()],
+            vec!["diff".into(), "3".into(), "4".into()],
+            vec!["check-head".into()],
+        ],
+        "db-lite" => vec![
+            vec!["bootstrap".into()],
+            vec!["oltp".into(), "30".into(), "1".into()],
+            vec!["oltp".into(), "30".into(), "0".into()],
+            vec!["merge-big".into(), "2".into()],
+        ],
+        "bind-lite" => vec![vec!["4".into()]],
+        "httpd-lite" => vec![vec!["50".into(), "1".into()], vec!["50".into(), "2".into()]],
+        // The cluster target runs once per fault point; arguments are
+        // supplied by the cluster harness.
+        "bft-lite" => vec![vec![]],
+        other => panic!("no default test suite for {other}"),
+    }
+}
+
+/// Run one workload of a single-process target under a scenario on a fresh
+/// VM, wiring up the right controller and workload (bind-lite runs behind
+/// its networked client workload, which also dictates the arguments).
+/// Shared by the campaign executor and the bench experiment harnesses.
+pub fn run_target(
+    target: &str,
+    exe: &Module,
+    scenario: &lfi_core::Scenario,
+    args: Vec<String>,
+    record_coverage: bool,
+    seed: u64,
+) -> TestReport {
+    if target == "bind-lite" {
+        let net = NetHandle::default();
+        let controller = networked_controller(net.clone());
+        let mut workload = BindWorkload::typical(net);
+        let config = TestConfig {
+            args: vec![workload.request_count().to_string()],
+            record_coverage,
+            seed,
+            ..TestConfig::default()
+        };
+        controller
+            .run_test(exe, scenario, &mut workload, &config)
+            .expect("bind-lite run")
+    } else {
+        let controller = standard_controller();
+        let config = TestConfig {
+            args,
+            record_coverage,
+            seed,
+            ..TestConfig::default()
+        };
+        controller
+            .run_test(exe, scenario, &mut FsSetupWorkload, &config)
+            .expect("target run")
+    }
+}
+
+/// Executes campaign work units against the stock `*-lite` targets.
+pub struct StandardExecutor {
+    targets: BTreeMap<String, Module>,
+    /// Client requests issued per bft-lite cluster run.
+    pub bft_requests: usize,
+}
+
+impl Default for StandardExecutor {
+    fn default() -> Self {
+        StandardExecutor::new()
+    }
+}
+
+impl StandardExecutor {
+    /// An executor over every stock target.
+    pub fn new() -> StandardExecutor {
+        StandardExecutor {
+            targets: all_targets()
+                .into_iter()
+                .map(|(name, module)| (name.to_string(), module))
+                .collect(),
+            bft_requests: 4,
+        }
+    }
+
+    /// The module of one target.
+    pub fn target(&self, name: &str) -> Option<&Module> {
+        self.targets.get(name)
+    }
+
+    /// Enumerate the fault space of the given targets (every call site of
+    /// every profiled failing function), annotated with the call-site
+    /// analyzer's classification.
+    pub fn fault_space(&self, targets: &[&str], profile: &FaultProfile) -> FaultSpace {
+        let controller = standard_controller();
+        let mut space = FaultSpace::new();
+        for name in targets {
+            let exe = self
+                .target(name)
+                .unwrap_or_else(|| panic!("unknown target {name}"));
+            space.add_target(name, exe, profile);
+            space.annotate_analysis(name, &controller.analyze(exe));
+        }
+        space
+    }
+
+    /// Run each single-process target's default suite once with no
+    /// injections, recording coverage, and annotate the space with which
+    /// call sites the baseline reaches — the signal `InjectionGuided`
+    /// prunes on. (Cluster targets are left unannotated.)
+    pub fn annotate_baseline_reachability(&self, space: &mut FaultSpace) {
+        for target in space.targets() {
+            if target == "bft-lite" {
+                continue;
+            }
+            let Some(exe) = self.target(&target) else {
+                continue;
+            };
+            let mut baseline = Coverage::new();
+            let no_faults = lfi_core::Scenario::new();
+            for args in default_test_suite(&target) {
+                let report = run_target(&target, exe, &no_faults, args, true, 1);
+                baseline.merge(&report.coverage);
+            }
+            space.annotate_reached(&target, &baseline);
+        }
+    }
+
+    fn resolve_caller(&self, module: &str, offset: u64) -> Option<String> {
+        self.targets
+            .get(module)
+            .and_then(|m| m.containing_function(offset))
+            .map(|e| e.name.clone())
+    }
+
+    fn crash_info(&self, fault: &Fault) -> CrashInfo {
+        CrashInfo {
+            module: fault.module.clone(),
+            offset: fault.offset,
+            description: fault.to_string(),
+            in_function: self.resolve_caller(&fault.module, fault.offset),
+            backtrace: fault
+                .backtrace
+                .iter()
+                .filter_map(|frame| frame.function.clone())
+                .collect(),
+        }
+    }
+
+    fn execute_single(&self, exe: &Module, unit: &WorkUnit) -> Execution {
+        let report = run_target(
+            &unit.point.target,
+            exe,
+            &unit.scenario,
+            unit.args.clone(),
+            false,
+            unit.seed,
+        );
+        let outcome = match report.outcome {
+            TestOutcome::Passed => OutcomeKind::Passed,
+            TestOutcome::CleanFailure(code) => OutcomeKind::CleanFailure(code),
+            TestOutcome::Crashed(_) => OutcomeKind::Crashed,
+            TestOutcome::Hung => OutcomeKind::Hung,
+        };
+        let injected_sites = report
+            .injections
+            .records
+            .iter()
+            .filter(|r| r.function == unit.point.function)
+            .map(|r| InjectedSite {
+                module: r.call_site.0.clone(),
+                offset: r.call_site.1,
+                caller: self.resolve_caller(&r.call_site.0, r.call_site.1),
+            })
+            .collect();
+        Execution {
+            outcome,
+            injections: report.injections.injection_count() as u64,
+            injected_sites,
+            crashes: report
+                .fault
+                .as_ref()
+                .map(|f| vec![self.crash_info(f)])
+                .unwrap_or_default(),
+            virtual_time: report.virtual_time,
+        }
+    }
+
+    fn execute_cluster(&self, unit: &WorkUnit) -> Execution {
+        let result = run_bft_cluster(&BftClusterConfig {
+            requests: self.bft_requests,
+            scenario: unit.scenario.clone(),
+            ..BftClusterConfig::default()
+        });
+        let crashes: Vec<CrashInfo> = result
+            .crashes
+            .iter()
+            .map(|(_node, fault)| self.crash_info(fault))
+            .collect();
+        // No crash but lost requests means the cluster stalled — a
+        // liveness/availability failure, not a pass.
+        let outcome = if !crashes.is_empty() {
+            OutcomeKind::Crashed
+        } else if result.completed < self.bft_requests as i64 {
+            OutcomeKind::Hung
+        } else {
+            OutcomeKind::Passed
+        };
+        Execution {
+            outcome,
+            injections: result.injections,
+            // The cluster harness does not expose per-node injection logs;
+            // the fault point itself is the injected site.
+            injected_sites: vec![InjectedSite {
+                module: unit.point.target.clone(),
+                offset: unit.point.offset,
+                caller: unit.point.caller.clone(),
+            }],
+            crashes,
+            virtual_time: result.virtual_time,
+        }
+    }
+}
+
+impl Executor for StandardExecutor {
+    fn workloads(&self, target: &str) -> Vec<Vec<String>> {
+        default_test_suite(target)
+    }
+
+    fn execute(&self, unit: &WorkUnit) -> Execution {
+        if unit.point.target == "bft-lite" {
+            return self.execute_cluster(unit);
+        }
+        let exe = self
+            .target(&unit.point.target)
+            .unwrap_or_else(|| panic!("unknown target {}", unit.point.target));
+        self.execute_single(exe, unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_cover_every_runnable_target() {
+        for (name, _) in all_targets() {
+            assert!(
+                !default_test_suite(name).is_empty(),
+                "{name} needs a default suite"
+            );
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Pluggable search strategies.
+//!
+//! A strategy decides *which* fault points of the space to explore and in
+//! *what order*. It returns indices into [`FaultSpace::points`]; the engine
+//! expands each selected point into one work unit per workload and feeds
+//! them to the worker pool in the strategy's order.
+
+use lfi_analyzer::CallSiteClass;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::space::FaultSpace;
+
+/// A fault-space search strategy.
+pub trait Strategy: Send + Sync {
+    /// Short name used in reports.
+    fn name(&self) -> &str;
+
+    /// Plan identity used to tag persisted campaign state: two strategy
+    /// values with the same fingerprint must produce the same plan over the
+    /// same space, because resumed unit ids are only meaningful within one
+    /// plan. Strategies with parameters that affect the plan (sample size,
+    /// sampling seed, ...) must fold them in here.
+    fn fingerprint(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Select and order the fault points to explore, as indices into
+    /// `space.points`.
+    fn plan(&self, space: &FaultSpace) -> Vec<usize>;
+}
+
+/// Explore every fault point, in enumeration order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Exhaustive;
+
+impl Strategy for Exhaustive {
+    fn name(&self) -> &str {
+        "exhaustive"
+    }
+
+    fn plan(&self, space: &FaultSpace) -> Vec<usize> {
+        (0..space.len()).collect()
+    }
+}
+
+/// Explore a uniform random sample of the fault space. Sampling is a
+/// seed-deterministic Fisher–Yates shuffle truncated to `count` points, so
+/// the same seed always yields the same plan.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSample {
+    /// Number of fault points to sample (clamped to the space size).
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Strategy for RandomSample {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("random(count={},seed={})", self.count, self.seed)
+    }
+
+    fn plan(&self, space: &FaultSpace) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..space.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Partial Fisher–Yates: position i receives a uniform draw from the
+        // not-yet-placed suffix.
+        let take = self.count.min(indices.len());
+        for i in 0..take {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices.truncate(take);
+        indices
+    }
+}
+
+/// The paper's accuracy insight as a search strategy: prune fault points
+/// whose call sites the baseline suite never reaches (they cannot inject),
+/// and explore the remaining points in order of how likely an injection is
+/// to expose a bug — analyzer-flagged *unchecked* sites first, partially
+/// checked next, unclassified sites after them, and fully checked sites
+/// last (still explored: recovery code behind a check can itself be buggy).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InjectionGuided;
+
+/// Priority rank of a classification (lower explores earlier).
+fn rank(class: Option<CallSiteClass>) -> u8 {
+    match class {
+        Some(CallSiteClass::Unchecked) => 0,
+        Some(CallSiteClass::PartiallyChecked) => 1,
+        None => 2,
+        Some(CallSiteClass::Checked) => 3,
+    }
+}
+
+impl Strategy for InjectionGuided {
+    fn name(&self) -> &str {
+        "guided"
+    }
+
+    fn plan(&self, space: &FaultSpace) -> Vec<usize> {
+        let mut indices: Vec<usize> = (0..space.len())
+            .filter(|&i| space.points[i].reached != Some(false))
+            .collect();
+        indices.sort_by_key(|&i| (rank(space.points[i].class), i));
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::space::FaultPoint;
+
+    use super::*;
+
+    fn point(function: &str, offset: u64) -> FaultPoint {
+        FaultPoint {
+            target: "demo".into(),
+            function: function.into(),
+            offset,
+            caller: None,
+            retval: -1,
+            errno: None,
+            class: None,
+            reached: None,
+        }
+    }
+
+    fn space_of(points: Vec<FaultPoint>) -> FaultSpace {
+        FaultSpace { points }
+    }
+
+    #[test]
+    fn exhaustive_selects_everything_in_order() {
+        let space = space_of((0..5).map(|i| point("read", i * 4)).collect());
+        assert_eq!(Exhaustive.plan(&space), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_sample_is_deterministic_under_a_fixed_seed() {
+        let space = space_of((0..50).map(|i| point("read", i * 4)).collect());
+        let a = RandomSample {
+            count: 10,
+            seed: 42,
+        }
+        .plan(&space);
+        let b = RandomSample {
+            count: 10,
+            seed: 42,
+        }
+        .plan(&space);
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.len(), 10);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10, "sampling is without replacement");
+
+        let c = RandomSample {
+            count: 10,
+            seed: 43,
+        }
+        .plan(&space);
+        assert_ne!(a, c, "different seeds explore differently");
+        // Plan-affecting parameters are part of the state fingerprint, so a
+        // resumed state from a differently-parameterized sample is discarded
+        // rather than silently misapplied.
+        let fp = |count, seed| RandomSample { count, seed }.fingerprint();
+        assert_ne!(fp(10, 42), fp(10, 43));
+        assert_ne!(fp(10, 42), fp(20, 42));
+
+        // Oversized requests clamp to the space.
+        let all = RandomSample { count: 99, seed: 1 }.plan(&space);
+        assert_eq!(all.len(), 50);
+    }
+
+    #[test]
+    fn injection_guided_prunes_unreached_and_prioritizes_unchecked() {
+        let mut unreached = point("read", 0);
+        unreached.reached = Some(false);
+        let mut checked = point("read", 4);
+        checked.class = Some(CallSiteClass::Checked);
+        checked.reached = Some(true);
+        let mut unchecked = point("read", 8);
+        unchecked.class = Some(CallSiteClass::Unchecked);
+        unchecked.reached = Some(true);
+        let mut partial = point("read", 12);
+        partial.class = Some(CallSiteClass::PartiallyChecked);
+        partial.reached = Some(true);
+        let unknown = point("read", 16); // no annotations at all
+
+        let space = space_of(vec![unreached, checked, unchecked, partial, unknown]);
+        let plan = InjectionGuided.plan(&space);
+        // The unreached point (index 0) is pruned; the rest are ordered
+        // unchecked, partial, unknown, checked.
+        assert_eq!(plan, vec![2, 3, 4, 1]);
+        assert!(plan.len() < space.len(), "guided explores fewer points");
+    }
+}

@@ -1,0 +1,224 @@
+//! Failure triage: deduplicate campaign failures into crash signatures.
+//!
+//! Hundreds of scenarios routinely collapse onto a handful of underlying
+//! defects. Triage groups crashed runs by a stable signature — where the
+//! crash happened and which library function's failure provoked it — so the
+//! campaign report lists *bugs*, not runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::engine::{OutcomeKind, RunRecord};
+
+/// A deduplicated crash signature.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CrashSignature {
+    /// Target program.
+    pub target: String,
+    /// Library function whose injected failure provoked the crash.
+    pub function: String,
+    /// Module containing the faulting instruction.
+    pub module: String,
+    /// Code offset of the faulting instruction.
+    pub offset: u64,
+    /// Innermost symbolized frame (or the containing function).
+    pub frame: Option<String>,
+}
+
+/// All runs that collapsed onto one signature.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureBucket {
+    /// The signature.
+    pub signature: CrashSignature,
+    /// Number of crashed runs with this signature.
+    pub count: usize,
+    /// Unit ids of those runs, in ascending order.
+    pub units: Vec<usize>,
+    /// A representative crash description.
+    pub example: String,
+}
+
+/// Aggregate triage results of a campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Triage {
+    /// Deduplicated signatures, in signature order.
+    pub buckets: Vec<SignatureBucket>,
+    /// Runs that passed.
+    pub passes: usize,
+    /// Runs that failed cleanly.
+    pub clean_failures: usize,
+    /// Runs that crashed.
+    pub crashes: usize,
+    /// Runs that hung.
+    pub hangs: usize,
+}
+
+impl Triage {
+    /// Number of distinct crash signatures.
+    pub fn distinct_crashes(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// Triage a batch of run records.
+pub fn triage(records: &[RunRecord]) -> Triage {
+    let mut result = Triage::default();
+    let mut buckets: BTreeMap<CrashSignature, SignatureBucket> = BTreeMap::new();
+    for record in records {
+        match &record.outcome {
+            OutcomeKind::Passed => result.passes += 1,
+            OutcomeKind::CleanFailure(_) => result.clean_failures += 1,
+            OutcomeKind::Hung => result.hangs += 1,
+            OutcomeKind::Crashed => result.crashes += 1,
+        }
+        for crash in &record.crashes {
+            let signature = CrashSignature {
+                target: record.target.clone(),
+                function: record.function.clone(),
+                module: crash.module.clone(),
+                offset: crash.offset,
+                frame: crash
+                    .in_function
+                    .clone()
+                    .or_else(|| crash.backtrace.first().cloned()),
+            };
+            let bucket = buckets
+                .entry(signature.clone())
+                .or_insert_with(|| SignatureBucket {
+                    signature,
+                    count: 0,
+                    units: Vec::new(),
+                    example: crash.description.clone(),
+                });
+            bucket.count += 1;
+            bucket.units.push(record.unit);
+        }
+    }
+    result.buckets = buckets.into_values().collect();
+    for bucket in &mut result.buckets {
+        bucket.units.sort_unstable();
+        bucket.units.dedup();
+    }
+    result
+}
+
+/// The final artifact of a campaign run.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Strategy that produced the plan.
+    pub strategy: String,
+    /// Total fault points in the space.
+    pub space_size: usize,
+    /// Fault points the strategy selected.
+    pub planned_points: usize,
+    /// Work units in the plan (points x workloads).
+    pub units_total: usize,
+    /// Units executed in this session (excludes resumed ones).
+    pub executed_now: usize,
+    /// Every run record, this session and resumed ones, by unit id.
+    pub records: Vec<RunRecord>,
+    /// Deduplicated failure triage over all records.
+    pub triage: Triage,
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign[{}]: {} of {} fault points planned, {} units ({} run now)",
+            self.strategy,
+            self.planned_points,
+            self.space_size,
+            self.units_total,
+            self.executed_now
+        )?;
+        writeln!(
+            f,
+            "outcomes: {} passed, {} clean failures, {} crashes, {} hangs",
+            self.triage.passes, self.triage.clean_failures, self.triage.crashes, self.triage.hangs
+        )?;
+        writeln!(
+            f,
+            "{} distinct crash signatures:",
+            self.triage.distinct_crashes()
+        )?;
+        for bucket in &self.triage.buckets {
+            writeln!(
+                f,
+                "  {}: {} into {} -> {}+{:#x} [{}] x{} ({})",
+                bucket.signature.target,
+                bucket.signature.function,
+                bucket.signature.frame.as_deref().unwrap_or("?"),
+                bucket.signature.module,
+                bucket.signature.offset,
+                bucket.example,
+                bucket.count,
+                plural(bucket.units.len(), "unit"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn plural(n: usize, noun: &str) -> String {
+    if n == 1 {
+        format!("{n} {noun}")
+    } else {
+        format!("{n} {noun}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::CrashInfo;
+
+    use super::*;
+
+    fn record(unit: usize, offset: u64, crash: Option<u64>) -> RunRecord {
+        RunRecord {
+            unit,
+            target: "demo".into(),
+            function: "read".into(),
+            offset,
+            args: vec![],
+            outcome: if crash.is_some() {
+                OutcomeKind::Crashed
+            } else {
+                OutcomeKind::Passed
+            },
+            injections: 1,
+            injected_sites: vec![],
+            crashes: crash
+                .map(|off| {
+                    vec![CrashInfo {
+                        module: "demo".into(),
+                        offset: off,
+                        description: "segfault".into(),
+                        in_function: Some("victim".into()),
+                        backtrace: vec!["victim".into()],
+                    }]
+                })
+                .unwrap_or_default(),
+            virtual_time: 1,
+        }
+    }
+
+    #[test]
+    fn identical_crashes_collapse_into_one_signature() {
+        let records = vec![
+            record(0, 4, Some(0x100)),
+            record(1, 8, Some(0x100)),
+            record(2, 12, None),
+            record(3, 16, Some(0x200)),
+        ];
+        let triage = triage(&records);
+        assert_eq!(triage.passes, 1);
+        assert_eq!(triage.crashes, 3);
+        // Units 0 and 1 share (function, module, offset, frame); unit 3
+        // crashed elsewhere.
+        assert_eq!(triage.distinct_crashes(), 2);
+        let first = &triage.buckets[0];
+        assert_eq!(first.count, 2);
+        assert_eq!(first.units, vec![0, 1]);
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end campaign tests against a real target program.
+
+use lfi_campaign::{
+    Campaign, CampaignConfig, CampaignState, Exhaustive, InjectionGuided, StandardExecutor,
+};
+use lfi_targets::standard_controller;
+
+/// Build a small but real fault space: git-lite restricted to the functions
+/// behind its Table 1 bugs (plus one that never fails a run).
+fn git_space(executor: &StandardExecutor) -> lfi_campaign::FaultSpace {
+    let profile = standard_controller().profile_libraries();
+    let mut space = executor.fault_space(&["git-lite"], &profile);
+    space.retain(|p| matches!(p.function.as_str(), "opendir" | "setenv" | "readlink"));
+    space
+}
+
+#[test]
+fn campaign_finds_the_git_readdir_bug_and_triages_it() {
+    let executor = StandardExecutor::new();
+    let space = git_space(&executor);
+    assert!(!space.is_empty());
+    let campaign = Campaign::new(space, &executor, CampaignConfig { jobs: 2, seed: 7 });
+    let mut state = CampaignState::default();
+    let report = campaign.run(&Exhaustive, &mut state);
+
+    assert_eq!(report.executed_now, report.units_total);
+    assert!(report.triage.crashes > 0, "opendir injection must crash");
+    // The readdir-after-failed-opendir crash collapses into a signature
+    // attributed to the opendir injection.
+    assert!(
+        report
+            .triage
+            .buckets
+            .iter()
+            .any(|b| b.signature.function == "opendir"),
+        "expected an opendir crash signature, got: {report}"
+    );
+
+    // Resuming from persisted state re-executes nothing and reproduces the
+    // same triage.
+    let mut resumed = CampaignState::from_json(&state.to_json()).unwrap();
+    let again = campaign.run(&Exhaustive, &mut resumed);
+    assert_eq!(again.executed_now, 0);
+    assert_eq!(again.records, report.records);
+}
+
+#[test]
+fn guided_explores_fewer_units_without_losing_the_crash() {
+    let executor = StandardExecutor::new();
+
+    // db-lite: the close/pthread_mutex_unlock fault points include call
+    // sites the default suite never reaches — exactly what InjectionGuided
+    // prunes (a pruned, unreached site can never inject, so no crash is
+    // lost).
+    let profile = standard_controller().profile_libraries();
+    let mut exhaustive_space = executor.fault_space(&["db-lite"], &profile);
+    exhaustive_space.retain(|p| {
+        matches!(
+            p.function.as_str(),
+            "close" | "pthread_mutex_unlock" | "read"
+        )
+    });
+    executor.annotate_baseline_reachability(&mut exhaustive_space);
+    let guided_space = exhaustive_space.clone();
+
+    let exhaustive_campaign = Campaign::new(
+        exhaustive_space,
+        &executor,
+        CampaignConfig { jobs: 2, seed: 7 },
+    );
+    let exhaustive = exhaustive_campaign.run(&Exhaustive, &mut CampaignState::default());
+
+    let guided_campaign =
+        Campaign::new(guided_space, &executor, CampaignConfig { jobs: 2, seed: 7 });
+    let guided = guided_campaign.run(&InjectionGuided, &mut CampaignState::default());
+
+    assert!(
+        guided.units_total < exhaustive.units_total,
+        "guided ({}) must prune units vs exhaustive ({})",
+        guided.units_total,
+        exhaustive.units_total
+    );
+    let signatures = |r: &lfi_campaign::CampaignReport| {
+        r.triage
+            .buckets
+            .iter()
+            .map(|b| b.signature.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        signatures(&guided),
+        signatures(&exhaustive),
+        "pruning unreached fault points must not lose crashes"
+    );
+}

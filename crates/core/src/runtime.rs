@@ -164,6 +164,15 @@ impl InjectionEngine {
         scenario: Scenario,
         registry: TriggerRegistry,
     ) -> Result<InjectionEngine, crate::triggers::TriggerBuildError> {
+        // Validate the scenario first: duplicate trigger ids and undeclared
+        // references used to slip through to this point and silently drop
+        // associations; now they surface as build errors.
+        scenario
+            .validate()
+            .map_err(|e| crate::triggers::TriggerBuildError {
+                class: "<scenario>".to_string(),
+                message: e.to_string(),
+            })?;
         // Build one slot per declared trigger (instantiated lazily), and
         // verify up front that every class is known so configuration errors
         // surface before the test runs.
@@ -358,6 +367,28 @@ mod tests {
             frames: vec![],
         });
         assert!(InjectionEngine::new(scenario).is_err());
+    }
+
+    #[test]
+    fn invalid_scenarios_fail_at_engine_build_time() {
+        // Undeclared trigger reference.
+        let undeclared = Scenario::new().with_function(FunctionAssoc {
+            function: "read".into(),
+            argc: 3,
+            retval: Some(-1),
+            errno: None,
+            triggers: vec!["ghost".into()],
+        });
+        assert!(InjectionEngine::new(undeclared).is_err());
+        // Duplicate trigger id.
+        let dup = TriggerDecl {
+            id: "once".into(),
+            class: "SingletonTrigger".into(),
+            params: Default::default(),
+            frames: vec![],
+        };
+        let duplicated = Scenario::new().with_trigger(dup.clone()).with_trigger(dup);
+        assert!(InjectionEngine::new(duplicated).is_err());
     }
 
     #[test]

@@ -150,8 +150,18 @@ impl Scenario {
         self.triggers.iter().find(|t| t.id == id)
     }
 
-    /// Check internal consistency: every referenced trigger must be declared.
+    /// Check internal consistency: trigger ids must be unique and every
+    /// referenced trigger must be declared.
     pub fn validate(&self) -> Result<(), ScenarioError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for decl in &self.triggers {
+            if !seen.insert(decl.id.as_str()) {
+                return Err(ScenarioError::Invalid(format!(
+                    "duplicate trigger id `{}`",
+                    decl.id
+                )));
+            }
+        }
         for assoc in &self.functions {
             for id in &assoc.triggers {
                 if self.trigger(id).is_none() {
@@ -268,6 +278,38 @@ impl Scenario {
             root.children.push(node);
         }
         root.to_xml()
+    }
+
+    /// Build the canonical single-fault-point scenario: a call-stack trigger
+    /// pinned to one call-site offset of `module`, injecting `retval` (and
+    /// optionally `errno`) into `function`. This is the unit of work of
+    /// analyzer-driven bug hunts and campaign sweeps.
+    pub fn single_fault_point(
+        module: &str,
+        function: &str,
+        offset: u64,
+        retval: Word,
+        errno: Option<Word>,
+    ) -> Scenario {
+        let id = format!("{function}_{offset:x}");
+        Scenario::new()
+            .with_trigger(TriggerDecl {
+                id: id.clone(),
+                class: "CallStackTrigger".into(),
+                params: BTreeMap::new(),
+                frames: vec![FrameSpec {
+                    module: Some(module.to_string()),
+                    offset: Some(offset),
+                    ..FrameSpec::default()
+                }],
+            })
+            .with_function(FunctionAssoc {
+                function: function.to_string(),
+                argc: 3,
+                retval: Some(retval),
+                errno,
+                triggers: vec![id],
+            })
     }
 
     /// Generate scenarios from call-site analysis reports, as the analyzer
@@ -475,6 +517,48 @@ mod tests {
             Scenario::parse_xml(doc),
             Err(ScenarioError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_trigger_ids_are_rejected() {
+        let dup = TriggerDecl {
+            id: "t".into(),
+            class: "SingletonTrigger".into(),
+            params: BTreeMap::new(),
+            frames: vec![],
+        };
+        let scenario = Scenario::new().with_trigger(dup.clone()).with_trigger(dup);
+        assert!(matches!(
+            scenario.validate(),
+            Err(ScenarioError::Invalid(msg)) if msg.contains("duplicate trigger id")
+        ));
+    }
+
+    #[test]
+    fn programmatic_undeclared_references_are_rejected() {
+        let scenario = Scenario::new().with_function(FunctionAssoc {
+            function: "read".into(),
+            argc: 3,
+            retval: Some(-1),
+            errno: None,
+            triggers: vec!["ghost".into()],
+        });
+        assert!(matches!(
+            scenario.validate(),
+            Err(ScenarioError::Invalid(msg)) if msg.contains("undeclared trigger")
+        ));
+    }
+
+    #[test]
+    fn single_fault_point_scenarios_validate_and_roundtrip() {
+        let scenario = Scenario::single_fault_point("app", "read", 0x40, -1, Some(errno_tbl::EIO));
+        scenario.validate().unwrap();
+        assert_eq!(scenario.intercepted_functions(), vec!["read"]);
+        let frame = &scenario.triggers[0].frames[0];
+        assert_eq!(frame.module.as_deref(), Some("app"));
+        assert_eq!(frame.offset, Some(0x40));
+        let back = Scenario::parse_xml(&scenario.to_xml()).unwrap();
+        assert_eq!(back, scenario);
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Property test: any well-formed scenario survives a `to_xml` /
+//! `parse_xml` round trip — including triggers referenced by zero, one, or
+//! many function associations, observational (`return="unused"`)
+//! associations, frame specifications, and named or numeric errno values.
+
+use std::collections::BTreeMap;
+
+use lfi_core::{FrameSpec, FunctionAssoc, Scenario, TriggerDecl};
+use proptest::prelude::*;
+
+/// One generated association body: (function, argc, retval, errno,
+/// trigger-reference bitmask).
+type AssocBody = (String, usize, Option<i64>, Option<i64>, u8);
+
+fn arb_frame() -> impl Strategy<Value = FrameSpec> {
+    (
+        proptest::option::of("[a-z][a-z0-9_]{0,6}"),
+        proptest::option::of(0u64..1 << 32),
+        proptest::option::of("[a-z][a-z0-9_]{0,6}"),
+        proptest::option::of("[a-z][a-z0-9_]{0,6}"),
+        proptest::option::of(any::<u32>()),
+    )
+        .prop_map(|(module, offset, function, file, line)| FrameSpec {
+            module,
+            offset,
+            function,
+            file,
+            line,
+        })
+}
+
+/// Trigger parameters: keys are prefixed so they can never collide with the
+/// reserved `<frame>` element of the `<args>` block.
+fn arb_params() -> impl Strategy<Value = BTreeMap<String, String>> {
+    proptest::collection::vec(("p[a-z0-9]{0,5}", "[a-z0-9][a-z0-9_]{0,8}"), 0..3)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+/// Trigger declarations without ids; the scenario builder assigns unique
+/// ids positionally so generated scenarios always validate.
+fn arb_trigger_body() -> impl Strategy<Value = (String, BTreeMap<String, String>, Vec<FrameSpec>)> {
+    (
+        "[A-Z][a-zA-Z]{0,10}",
+        arb_params(),
+        proptest::collection::vec(arb_frame(), 0..3),
+    )
+}
+
+/// A function association referencing a subset of the declared triggers,
+/// encoded as a bitmask over their indices. `retval == None` produces the
+/// observational `return="unused"` form; errno draws from named constants
+/// and plain numbers.
+fn arb_assoc_body() -> impl Strategy<Value = AssocBody> {
+    (
+        "[a-z][a-z0-9_]{0,10}",
+        0usize..6,
+        proptest::option::of(-4096i64..4096),
+        proptest::option::of(prop_oneof![
+            Just(lfi_arch::errno::EIO),
+            Just(lfi_arch::errno::ENOMEM),
+            Just(lfi_arch::errno::EINVAL),
+            0i64..200,
+        ]),
+        any::<u8>(),
+    )
+}
+
+fn build_scenario(
+    triggers: Vec<(String, BTreeMap<String, String>, Vec<FrameSpec>)>,
+    assocs: Vec<AssocBody>,
+) -> Scenario {
+    let mut scenario = Scenario::new();
+    for (index, (class, params, frames)) in triggers.into_iter().enumerate() {
+        scenario.triggers.push(TriggerDecl {
+            id: format!("t{index}"),
+            class,
+            params,
+            frames,
+        });
+    }
+    let declared = scenario.triggers.len();
+    for (function, argc, retval, errno, mask) in assocs {
+        let triggers = (0..declared)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| format!("t{i}"))
+            .collect();
+        scenario.functions.push(FunctionAssoc {
+            function,
+            argc,
+            retval,
+            errno,
+            triggers,
+        });
+    }
+    scenario
+}
+
+proptest! {
+    #[test]
+    fn scenario_xml_roundtrip(
+        triggers in proptest::collection::vec(arb_trigger_body(), 0..4),
+        assocs in proptest::collection::vec(arb_assoc_body(), 0..5),
+    ) {
+        let scenario = build_scenario(triggers, assocs);
+        prop_assert!(scenario.validate().is_ok());
+        let xml = scenario.to_xml();
+        let back = Scenario::parse_xml(&xml).expect("generated XML must parse");
+        prop_assert_eq!(back, scenario);
+    }
+
+    /// The degenerate shapes the issue calls out explicitly: a trigger with
+    /// no referencing function at all, and one shared by many functions.
+    #[test]
+    fn empty_and_multi_function_associations_roundtrip(
+        class in "[A-Z][a-zA-Z]{0,10}",
+        functions in proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 2..6),
+    ) {
+        // Unreferenced trigger only.
+        let lonely = Scenario::new().with_trigger(TriggerDecl {
+            id: "lonely".into(),
+            class: class.clone(),
+            params: BTreeMap::new(),
+            frames: vec![],
+        });
+        prop_assert_eq!(Scenario::parse_xml(&lonely.to_xml()).unwrap(), lonely);
+
+        // One trigger fanned out across many functions.
+        let mut shared = Scenario::new().with_trigger(TriggerDecl {
+            id: "shared".into(),
+            class,
+            params: BTreeMap::new(),
+            frames: vec![],
+        });
+        for function in functions {
+            shared.functions.push(FunctionAssoc {
+                function,
+                argc: 1,
+                retval: Some(-1),
+                errno: Some(lfi_arch::errno::EIO),
+                triggers: vec!["shared".into()],
+            });
+        }
+        prop_assert_eq!(Scenario::parse_xml(&shared.to_xml()).unwrap(), shared);
+    }
+}

@@ -87,6 +87,17 @@ impl FaultProfile {
         self.functions.get(name)
     }
 
+    /// Iterate over every per-function profile, in function-name order.
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionProfile> {
+        self.functions.values()
+    }
+
+    /// Iterate over the profiles of functions that can fail — the injectable
+    /// fault points a campaign enumerates its fault space from.
+    pub fn failing(&self) -> impl Iterator<Item = &FunctionProfile> {
+        self.iter().filter(|f| !f.error_cases.is_empty())
+    }
+
     /// Names of all profiled functions that have at least one error case.
     pub fn failing_functions(&self) -> Vec<String> {
         self.functions
@@ -197,6 +208,15 @@ impl FaultProfile {
                 .entry(name.clone())
                 .or_insert_with(|| profile.clone());
         }
+    }
+}
+
+impl<'a> IntoIterator for &'a FaultProfile {
+    type Item = &'a FunctionProfile;
+    type IntoIter = std::collections::btree_map::Values<'a, String, FunctionProfile>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.functions.values()
     }
 }
 
@@ -397,6 +417,29 @@ mod tests {
                 errno: Some(errno::ENOENT)
             })
         );
+    }
+
+    #[test]
+    fn iteration_exposes_failing_functions() {
+        let lib = assemble_text(
+            r#"
+            .module demo lib
+            .func ok
+                movi r0, 7
+                ret
+            .func fails
+                movi r7, EIO
+                tlsst errno, r7
+                movi r0, -1
+                ret
+            "#,
+        )
+        .unwrap();
+        let profile = profile_library(&lib);
+        assert_eq!(profile.iter().count(), 2);
+        assert_eq!((&profile).into_iter().count(), 2);
+        let failing: Vec<&str> = profile.failing().map(|f| f.name.as_str()).collect();
+        assert_eq!(failing, vec!["fails"]);
     }
 
     #[test]

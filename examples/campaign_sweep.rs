@@ -1,0 +1,90 @@
+//! A fault-injection campaign across every evaluation target.
+//!
+//! Demonstrates the campaign subsystem end to end: enumerate the fault
+//! space of all `*-lite` targets, annotate it with analyzer classifications
+//! and baseline reachability, explore it with the injection-guided strategy
+//! on a worker pool, triage the crashes into deduplicated signatures, and
+//! resume from persisted JSON state without re-running anything.
+//!
+//! Usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|random]
+
+use lfi::campaign::{
+    default_test_suite, Campaign, CampaignConfig, CampaignState, Exhaustive, InjectionGuided,
+    RandomSample, StandardExecutor, Strategy,
+};
+use lfi::targets::standard_controller;
+
+fn usage() -> ! {
+    eprintln!("usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|random]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut jobs = 2usize;
+    let mut strategy: Box<dyn Strategy> = Box::new(InjectionGuided);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--strategy" => {
+                strategy = match args.next().as_deref() {
+                    Some("exhaustive") => Box::new(Exhaustive),
+                    Some("random") => Box::new(RandomSample { count: 40, seed: 7 }),
+                    Some("guided") => Box::new(InjectionGuided),
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+
+    // 1. Enumerate and annotate the fault space of every runnable target.
+    let executor = StandardExecutor::new();
+    let profile = standard_controller().profile_libraries();
+    let targets = ["bind-lite", "git-lite", "db-lite", "httpd-lite", "bft-lite"];
+    let mut space = executor.fault_space(&targets, &profile);
+    // A full cluster run per fault point is expensive; restrict bft-lite to
+    // the functions its harness exercises.
+    space.retain(|p| {
+        p.target != "bft-lite"
+            || matches!(
+                p.function.as_str(),
+                "recvfrom" | "sendto" | "fopen" | "fwrite"
+            )
+    });
+    executor.annotate_baseline_reachability(&mut space);
+    println!(
+        "fault space: {} points across {} targets ({} workload runs if exhaustive)",
+        space.len(),
+        space.targets().len(),
+        space
+            .points
+            .iter()
+            .map(|p| default_test_suite(&p.target).len())
+            .sum::<usize>()
+    );
+
+    // 2. Explore it on the worker pool.
+    let campaign = Campaign::new(space, &executor, CampaignConfig { jobs, seed: 7 });
+    let mut state = CampaignState::default();
+    let report = campaign.run(strategy.as_ref(), &mut state);
+    println!("\n{report}");
+
+    // 3. Persist the state and resume: nothing is re-executed.
+    let checkpoint = std::env::temp_dir().join("lfi_campaign_sweep.json");
+    std::fs::write(&checkpoint, state.to_json()).expect("write checkpoint");
+    let json = std::fs::read_to_string(&checkpoint).expect("read checkpoint");
+    let mut resumed = CampaignState::from_json(&json).expect("parse checkpoint");
+    let again = campaign.run(strategy.as_ref(), &mut resumed);
+    println!(
+        "resumed from {}: {} units re-executed (state held {} records)",
+        checkpoint.display(),
+        again.executed_now,
+        again.records.len()
+    );
+}

@@ -12,6 +12,10 @@
 //!   errno side effects inferred from binaries);
 //! * [`analyzer`](lfi_analyzer) — call-site analysis (Algorithm 1) and
 //!   recovery-block identification;
+//! * [`campaign`](lfi_campaign) — parallel fault-space exploration: enumerate
+//!   every (call site × error case) fault point, search it with pluggable
+//!   strategies on a worker pool, triage crashes into signatures, resume
+//!   interrupted sweeps from JSON state;
 //! * the substrate: [`arch`](lfi_arch), [`obj`](lfi_obj), [`asm`](lfi_asm),
 //!   [`cc`](lfi_cc), [`vm`](lfi_vm), [`libc`](lfi_libc);
 //! * [`targets`](lfi_targets) — the BIND/MySQL/Git/PBFT/Apache analogues with
@@ -52,6 +56,7 @@
 pub use lfi_analyzer as analyzer;
 pub use lfi_arch as arch;
 pub use lfi_asm as asm;
+pub use lfi_campaign as campaign;
 pub use lfi_cc as cc;
 pub use lfi_core as core;
 pub use lfi_libc as libc;
@@ -63,6 +68,12 @@ pub use lfi_vm as vm;
 /// The most commonly used items, for `use lfi::prelude::*`.
 pub mod prelude {
     pub use lfi_analyzer::{analyze_program, AnalysisConfig, CallSiteClass};
+    // The `Strategy` trait itself stays at `lfi::campaign::Strategy`: its
+    // name collides with `proptest::prelude::Strategy` under glob imports.
+    pub use lfi_campaign::{
+        Campaign, CampaignConfig, CampaignState, Exhaustive, FaultPoint, FaultSpace,
+        InjectionGuided, RandomSample, StandardExecutor,
+    };
     pub use lfi_core::{
         Controller, FrameSpec, FunctionAssoc, InjectionEngine, RunToCompletion, Scenario,
         TestConfig, TestOutcome, Trigger, TriggerCtx, TriggerDecl, TriggerRegistry, Workload,
