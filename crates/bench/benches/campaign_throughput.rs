@@ -1,24 +1,27 @@
 //! Criterion benchmark of campaign throughput (scenarios per second):
-//! the same git-lite fault-space sweep drained by one worker vs four.
-//! The worker pool should scale: jobs=4 must beat jobs=1 wall-clock.
+//! the same git-lite fault-space sweep drained by one worker vs four, and
+//! the adaptive scheduler's batched drain vs the single-batch exhaustive
+//! one (the feedback loop between batches must not cost measurable
+//! throughput).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignState, Exhaustive, FaultSpace, StandardExecutor,
+    Campaign, CampaignConfig, CampaignState, CoverageAdaptive, Exhaustive, FaultSpace,
+    StandardExecutor,
 };
 use lfi_targets::standard_controller;
 
 fn git_space(executor: &StandardExecutor) -> FaultSpace {
     let profile = standard_controller().profile_libraries();
-    executor.fault_space(&["git-lite"], &profile)
+    let mut space = executor.fault_space(&["git-lite"], &profile);
+    executor.annotate_baseline_reachability(&mut space, 7);
+    space
 }
 
 fn bench_campaign_throughput(c: &mut Criterion) {
     let executor = StandardExecutor::new();
     let space = git_space(&executor);
-    let units = Campaign::new(space.clone(), &executor, CampaignConfig::default())
-        .units(&Exhaustive)
-        .len();
+    let units = Campaign::new(space.clone(), &executor, CampaignConfig::default()).total_units();
 
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(10);
@@ -37,6 +40,18 @@ fn bench_campaign_throughput(c: &mut Criterion) {
             },
         );
     }
+    group.bench_function("git_lite_adaptive_jobs4", |b| {
+        let campaign = Campaign::new(
+            space.clone(),
+            &executor,
+            CampaignConfig { jobs: 4, seed: 7 },
+        );
+        b.iter(|| {
+            let report = campaign.run(&CoverageAdaptive::default(), &mut CampaignState::default());
+            assert!(report.executed_now > 0);
+            report.triage.crashes
+        });
+    });
     group.finish();
 }
 

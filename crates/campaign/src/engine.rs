@@ -1,20 +1,37 @@
-//! The campaign engine: a work queue of concrete scenarios executed on a
-//! parallel worker pool.
+//! The campaign engine: an adaptive work queue of concrete scenarios
+//! executed on a parallel worker pool.
 //!
-//! The engine expands a strategy's plan into [`WorkUnit`]s (one per selected
-//! fault point and workload), skips units a resumed [`CampaignState`] has
-//! already completed, and drains the remainder on `jobs` worker threads.
-//! Each worker pulls units off a shared cursor and hands them to the
-//! [`Executor`], which builds a **fresh VM instance per unit** — runs share
-//! nothing but the immutable target modules, so results are independent of
-//! the worker count and interleaving.
+//! The engine repeatedly asks the [`Strategy`] for a batch of fault points,
+//! expands the batch into [`WorkUnit`]s (one per fault point and workload),
+//! skips units a resumed [`CampaignState`] has already completed, drains the
+//! rest on `jobs` worker threads, and feeds the completed records back into
+//! the [`CampaignHistory`] before requesting the next batch — so strategies
+//! can react to results mid-campaign. Each worker pulls units off a shared
+//! cursor and hands them to the [`Executor`], which builds a **fresh VM
+//! instance per unit** — runs share nothing but the immutable target
+//! modules, so results are independent of the worker count and interleaving.
+//!
+//! ## Unit identity and resumability
+//!
+//! Unit ids are **canonical**: unit `id` is the position of its
+//! `(fault point, workload)` pair in the full expansion of the space in
+//! enumeration order, independent of the strategy's schedule. Persisted
+//! state is tagged `fingerprint@plan-hash`, where the plan hash covers every
+//! point's full identity (target, function, offset, caller, injected
+//! retval/errno, analyzer class, baseline reachability) and a digest of each
+//! target's workload suite. Any change that could shift unit ids or swap the
+//! scenario behind an id — re-annotation, a different fault profile, an
+//! edited test suite — therefore invalidates the checkpoint instead of
+//! silently misapplying it.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
 use lfi_core::Scenario;
 
+use crate::history::CampaignHistory;
 use crate::space::{FaultPoint, FaultSpace};
 use crate::state::CampaignState;
 use crate::strategy::Strategy;
@@ -86,8 +103,10 @@ pub struct Execution {
 /// workload of the target's test suite.
 #[derive(Debug, Clone)]
 pub struct WorkUnit {
-    /// Stable unit id (index into the strategy's expanded plan). Resuming
-    /// the same strategy over the same space reproduces the same ids.
+    /// Canonical unit id: the position of this `(fault point, workload)`
+    /// pair in the full expansion of the space in enumeration order. Stable
+    /// across strategies and batch schedules, so resumed records always
+    /// refer to the same scenario.
     pub id: usize,
     /// The fault point under test.
     pub point: FaultPoint,
@@ -95,8 +114,9 @@ pub struct WorkUnit {
     pub scenario: Scenario,
     /// Workload arguments.
     pub args: Vec<String>,
-    /// Seed for the run (derived from the campaign seed and unit id, so
-    /// results do not depend on scheduling).
+    /// Seed for the run (a splitmix64-style mix of the campaign seed and
+    /// the canonical unit id, so results do not depend on scheduling and
+    /// adjacent campaign seeds do not share unit seeds).
     pub seed: u64,
 }
 
@@ -104,7 +124,7 @@ pub struct WorkUnit {
 /// known-bug matching need, and what [`CampaignState`] persists.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunRecord {
-    /// Unit id.
+    /// Canonical unit id.
     pub unit: usize,
     /// Target program.
     pub target: String,
@@ -141,9 +161,11 @@ pub trait Executor: Sync {
 /// Campaign configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CampaignConfig {
-    /// Number of worker threads (clamped to at least 1).
+    /// Number of worker threads (clamped to at least 1, and never more than
+    /// the pending units of a batch).
     pub jobs: usize,
-    /// Base seed; unit seeds are derived from it and the unit id.
+    /// Base seed; unit seeds are derived from it and the canonical unit id
+    /// via [`derive_seed`].
     pub seed: u64,
 }
 
@@ -153,20 +175,57 @@ impl Default for CampaignConfig {
     }
 }
 
+/// Mix a base seed and a stream index into an independent per-stream seed
+/// (splitmix64 finalizer). Unlike `seed + index`, two adjacent base seeds
+/// never produce near-identical seed sequences shifted by one.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A fault-space exploration campaign.
 pub struct Campaign<'a> {
     space: FaultSpace,
     executor: &'a dyn Executor,
     config: CampaignConfig,
+    /// Workload suites per target, in the space's first-seen target order.
+    suites: Vec<(String, Vec<Vec<String>>)>,
+    /// Canonical id of the first unit of each fault point.
+    unit_base: Vec<usize>,
+    /// Total canonical units (points × their workload suites).
+    total_units: usize,
 }
 
 impl<'a> Campaign<'a> {
-    /// Create a campaign over `space`, executing with `executor`.
+    /// Create a campaign over `space`, executing with `executor`. The
+    /// canonical unit layout (every point × its target's workload suite) is
+    /// fixed here; workload suites are queried once per target.
     pub fn new(space: FaultSpace, executor: &'a dyn Executor, config: CampaignConfig) -> Self {
+        let mut suites: Vec<(String, Vec<Vec<String>>)> = Vec::new();
+        let mut unit_base = Vec::with_capacity(space.len());
+        let mut total_units = 0usize;
+        for point in &space.points {
+            let suite_len = match suites.iter().find(|(name, _)| *name == point.target) {
+                Some((_, suite)) => suite.len(),
+                None => {
+                    let suite = executor.workloads(&point.target);
+                    let len = suite.len();
+                    suites.push((point.target.clone(), suite));
+                    len
+                }
+            };
+            unit_base.push(total_units);
+            total_units += suite_len;
+        }
         Campaign {
             space,
             executor,
             config,
+            suites,
+            unit_base,
+            total_units,
         }
     }
 
@@ -175,52 +234,85 @@ impl<'a> Campaign<'a> {
         &self.space
     }
 
-    /// Expand a strategy's plan into the ordered work-unit queue: one unit
-    /// per selected fault point and workload of its target.
-    pub fn units(&self, strategy: &dyn Strategy) -> Vec<WorkUnit> {
-        self.units_from_plan(&strategy.plan(&self.space))
+    /// Total canonical work units: every fault point × its target's
+    /// workload suite.
+    pub fn total_units(&self) -> usize {
+        self.total_units
     }
 
-    fn units_from_plan(&self, plan: &[usize]) -> Vec<WorkUnit> {
+    fn suite(&self, target: &str) -> &[Vec<String>] {
+        self.suites
+            .iter()
+            .find(|(name, _)| name == target)
+            .map(|(_, suite)| suite.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Expand the full space into the canonical work-unit list (every point
+    /// in enumeration order × its workloads). Unit ids equal positions.
+    pub fn units(&self) -> Vec<WorkUnit> {
+        self.units_for((0..self.space.len()).collect::<Vec<_>>().as_slice())
+    }
+
+    /// Expand a batch of fault-point indices into work units with canonical
+    /// ids and derived seeds.
+    fn units_for(&self, points: &[usize]) -> Vec<WorkUnit> {
         let mut units = Vec::new();
-        for &point_index in plan {
+        for &point_index in points {
             let point = &self.space.points[point_index];
             let scenario = point.scenario();
-            for args in self.executor.workloads(&point.target) {
-                let id = units.len();
+            for (w, args) in self.suite(&point.target).iter().enumerate() {
+                let id = self.unit_base[point_index] + w;
                 units.push(WorkUnit {
                     id,
                     point: point.clone(),
                     scenario: scenario.clone(),
-                    args,
-                    seed: self.config.seed.wrapping_add(id as u64),
+                    args: args.clone(),
+                    seed: derive_seed(self.config.seed, id as u64),
                 });
             }
         }
         units
     }
 
-    /// Run the campaign: execute every unit of the strategy's plan that
-    /// `state` has not already completed, on `jobs` workers, then triage all
-    /// accumulated records (previous sessions included) into a report.
-    ///
-    /// `state` is updated in place; persist it with
-    /// [`CampaignState::to_json`] to make the campaign resumable.
-    pub fn run(&self, strategy: &dyn Strategy, state: &mut CampaignState) -> CampaignReport {
-        // The state tag covers the strategy's plan identity AND the fault
-        // space: unit ids are indices into this exact plan over this exact
-        // space, so a resume against anything else must start fresh.
-        let tag = format!("{}@{:016x}", strategy.fingerprint(), self.space.digest());
-        state.adopt(&tag, self.config.seed);
-        let plan = strategy.plan(&self.space);
-        let units = self.units_from_plan(&plan);
-        let pending: Vec<&WorkUnit> = units.iter().filter(|u| !state.completed(u.id)).collect();
+    /// The identity of this campaign's plan: an FNV-1a fold of the space
+    /// digest (full point identity, annotations included) and every
+    /// target's workload suite. Combined with the strategy fingerprint to
+    /// tag persisted state — see the module docs for what this invalidates.
+    pub fn plan_hash(&self) -> u64 {
+        let mut hash = self.space.digest();
+        let mut mix = |bytes: &[u8]| {
+            for byte in bytes {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (target, suite) in &self.suites {
+            mix(target.as_bytes());
+            mix(&[0xfe]);
+            for args in suite {
+                for arg in args {
+                    mix(arg.as_bytes());
+                    mix(&[0x1f]);
+                }
+                mix(&[0xfd]);
+            }
+        }
+        hash
+    }
 
+    /// Drain one batch of pending units on the worker pool and return the
+    /// completed records, ordered by unit id. Spawns `min(jobs, pending)`
+    /// threads — zero when there is nothing to run.
+    fn drain(&self, pending: &[&WorkUnit]) -> (Vec<RunRecord>, usize) {
+        if pending.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let workers = self.config.jobs.max(1).min(pending.len());
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<RunRecord>> = Mutex::new(Vec::new());
-        let jobs = self.config.jobs.max(1);
         thread::scope(|scope| {
-            for _ in 0..jobs.min(pending.len().max(1)) {
+            for _ in 0..workers {
                 scope.spawn(|| loop {
                     let next = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(unit) = pending.get(next) else {
@@ -243,19 +335,67 @@ impl<'a> Campaign<'a> {
                 });
             }
         });
-
         let mut fresh = results.into_inner().unwrap();
         fresh.sort_by_key(|r| r.unit);
-        let executed_now = fresh.len();
-        for record in fresh {
-            state.push(record);
+        (fresh, workers)
+    }
+
+    /// Run the campaign: repeatedly request a batch from the strategy,
+    /// execute its units that `state` has not already completed, feed the
+    /// results back through the history, and stop when the strategy has
+    /// nothing new to schedule. Finally triage all accumulated records
+    /// (previous sessions included) into a report.
+    ///
+    /// `state` is updated in place; persist it with
+    /// [`CampaignState::to_json`] to make the campaign resumable.
+    pub fn run(&self, strategy: &dyn Strategy, state: &mut CampaignState) -> CampaignReport {
+        // The state tag covers the strategy's scheduling identity AND the
+        // plan (point identity incl. annotations + workload suites): unit
+        // ids are indices into this exact expansion, so a resume against
+        // anything else must start fresh.
+        let tag = format!("{}@{:016x}", strategy.fingerprint(), self.plan_hash());
+        state.adopt(&tag, self.config.seed);
+
+        let mut history = CampaignHistory::new(self.unit_base.clone(), self.total_units);
+        for record in state.records() {
+            history.observe(record.clone());
+        }
+
+        let mut executed_now = 0usize;
+        let mut peak_workers = 0usize;
+        loop {
+            let proposed = strategy.next_batch(&self.space, &history);
+            // Each point runs at most once per campaign: drop repeats
+            // within the batch and points dispatched earlier. An empty
+            // batch after filtering ends the run (and bounds it: at most
+            // `space.len()` non-empty batches).
+            let mut seen = BTreeSet::new();
+            let batch: Vec<usize> = proposed
+                .into_iter()
+                .filter(|&i| !history.dispatched(i) && seen.insert(i))
+                .collect();
+            if batch.is_empty() {
+                break;
+            }
+            let units = self.units_for(&batch);
+            history.begin_batch(&batch, units.len());
+            let pending: Vec<&WorkUnit> = units.iter().filter(|u| !state.completed(u.id)).collect();
+            let (fresh, workers) = self.drain(&pending);
+            peak_workers = peak_workers.max(workers);
+            executed_now += fresh.len();
+            for record in fresh {
+                history.observe(record.clone());
+                state.push(record);
+            }
         }
 
         CampaignReport {
             strategy: strategy.name().to_string(),
             space_size: self.space.len(),
-            planned_points: plan.len(),
-            units_total: units.len(),
+            planned_points: history.dispatched_points(),
+            units_total: history.planned_units(),
+            batches: history.batches(),
+            peak_workers,
             executed_now,
             triage: triage(state.records()),
             records: state.records().to_vec(),
@@ -276,6 +416,14 @@ mod tests {
     /// multiple of 8, and counts how many executions happened.
     struct FakeExecutor {
         executions: AtomicUsize,
+    }
+
+    impl FakeExecutor {
+        fn new() -> FakeExecutor {
+            FakeExecutor {
+                executions: AtomicUsize::new(0),
+            }
+        }
     }
 
     impl Executor for FakeExecutor {
@@ -340,15 +488,16 @@ mod tests {
 
     #[test]
     fn units_expand_points_by_workload_deterministically() {
-        let executor = FakeExecutor {
-            executions: AtomicUsize::new(0),
-        };
+        let executor = FakeExecutor::new();
         let campaign = Campaign::new(demo_space(3), &executor, CampaignConfig::default());
-        let units = campaign.units(&Exhaustive);
+        let units = campaign.units();
         assert_eq!(units.len(), 6, "3 points x 2 workloads");
+        assert_eq!(campaign.total_units(), 6);
+        assert_eq!(scenario_map(&units), scenario_map(&campaign.units()));
+        // Canonical ids equal positions in the full expansion.
         assert_eq!(
-            scenario_map(&units),
-            scenario_map(&campaign.units(&Exhaustive))
+            units.iter().map(|u| u.id).collect::<Vec<_>>(),
+            (0..6).collect::<Vec<_>>()
         );
         for unit in &units {
             unit.scenario.validate().unwrap();
@@ -356,10 +505,36 @@ mod tests {
     }
 
     #[test]
-    fn parallel_runs_match_serial_runs() {
-        let serial_exec = FakeExecutor {
-            executions: AtomicUsize::new(0),
+    fn unit_seeds_do_not_collide_across_adjacent_campaign_seeds() {
+        let executor = FakeExecutor::new();
+        let seeds_of = |seed| {
+            Campaign::new(demo_space(64), &executor, CampaignConfig { jobs: 1, seed })
+                .units()
+                .iter()
+                .map(|u| u.seed)
+                .collect::<Vec<u64>>()
         };
+        let a = seeds_of(7);
+        let b = seeds_of(8);
+        // With the old `seed.wrapping_add(id)` derivation, b was a shifted
+        // by one: 127 of 128 unit seeds shared. The splitmix64-style mix
+        // must keep the two campaigns' seed sets disjoint.
+        let set_a: BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(
+            set_a.len(),
+            a.len(),
+            "unit seeds within a campaign are distinct"
+        );
+        assert!(
+            b.iter().all(|seed| !set_a.contains(seed)),
+            "adjacent campaign seeds must not share unit seeds"
+        );
+        assert_eq!(a, seeds_of(7), "derivation is deterministic");
+    }
+
+    #[test]
+    fn parallel_runs_match_serial_runs() {
+        let serial_exec = FakeExecutor::new();
         let campaign = Campaign::new(
             demo_space(9),
             &serial_exec,
@@ -368,9 +543,7 @@ mod tests {
         let mut serial_state = CampaignState::default();
         let serial = campaign.run(&Exhaustive, &mut serial_state);
 
-        let parallel_exec = FakeExecutor {
-            executions: AtomicUsize::new(0),
-        };
+        let parallel_exec = FakeExecutor::new();
         let campaign = Campaign::new(
             demo_space(9),
             &parallel_exec,
@@ -382,6 +555,8 @@ mod tests {
         assert_eq!(serial.records, parallel.records);
         assert_eq!(serial.triage.buckets.len(), parallel.triage.buckets.len());
         assert_eq!(parallel_exec.executions.load(Ordering::Relaxed), 18);
+        assert_eq!(parallel.peak_workers, 4);
+        assert_eq!(serial.peak_workers, 1);
     }
 
     /// An executor that blocks until `expected` workers are inside
@@ -444,13 +619,12 @@ mod tests {
 
     #[test]
     fn resumed_campaigns_skip_completed_units() {
-        let executor = FakeExecutor {
-            executions: AtomicUsize::new(0),
-        };
+        let executor = FakeExecutor::new();
         let campaign = Campaign::new(demo_space(4), &executor, CampaignConfig::default());
         let mut state = CampaignState::default();
         let first = campaign.run(&Exhaustive, &mut state);
         assert_eq!(first.executed_now, 8);
+        assert_eq!(first.batches, 1, "exhaustive is a single-batch schedule");
 
         // Round-trip the state through JSON, then run again: nothing left.
         let mut resumed = CampaignState::from_json(&state.to_json()).unwrap();
@@ -462,9 +636,7 @@ mod tests {
 
     #[test]
     fn resuming_against_a_different_fault_space_starts_fresh() {
-        let executor = FakeExecutor {
-            executions: AtomicUsize::new(0),
-        };
+        let executor = FakeExecutor::new();
         let campaign = Campaign::new(demo_space(3), &executor, CampaignConfig::default());
         let mut state = CampaignState::default();
         campaign.run(&Exhaustive, &mut state);
@@ -475,5 +647,69 @@ mod tests {
         let report = grown.run(&Exhaustive, &mut state);
         assert_eq!(report.executed_now, 8, "all units of the new plan re-ran");
         assert_eq!(report.records.len(), 8);
+    }
+
+    /// A strategy that schedules one point per batch, in reverse order —
+    /// exercises the batch loop and the canonical-id invariant (ids must
+    /// not depend on schedule order).
+    struct ReverseOneByOne;
+
+    impl Strategy for ReverseOneByOne {
+        fn name(&self) -> &str {
+            "reverse"
+        }
+
+        fn next_batch(&self, space: &FaultSpace, history: &CampaignHistory) -> Vec<usize> {
+            (0..space.len())
+                .rev()
+                .find(|&i| !history.dispatched(i))
+                .into_iter()
+                .collect()
+        }
+    }
+
+    #[test]
+    fn batched_schedules_produce_the_same_records_as_single_batch_ones() {
+        let exhaustive_exec = FakeExecutor::new();
+        let campaign = Campaign::new(demo_space(5), &exhaustive_exec, CampaignConfig::default());
+        let forward = campaign.run(&Exhaustive, &mut CampaignState::default());
+
+        let reverse_exec = FakeExecutor::new();
+        let campaign = Campaign::new(demo_space(5), &reverse_exec, CampaignConfig::default());
+        let reverse = campaign.run(&ReverseOneByOne, &mut CampaignState::default());
+
+        // Same units, same ids, same outcomes — only the schedule differed.
+        assert_eq!(forward.records, reverse.records);
+        assert_eq!(reverse.batches, 5, "one point per batch");
+        assert_eq!(forward.units_total, reverse.units_total);
+    }
+
+    /// A strategy that keeps re-emitting the same points forever; the
+    /// engine's dispatched-filter must terminate the campaign anyway.
+    struct Stubborn;
+
+    impl Strategy for Stubborn {
+        fn name(&self) -> &str {
+            "stubborn"
+        }
+
+        fn next_batch(&self, space: &FaultSpace, _history: &CampaignHistory) -> Vec<usize> {
+            // Duplicates within the batch and across batches, plus an
+            // out-of-range index for good measure.
+            (0..space.len())
+                .chain(0..space.len())
+                .chain([999])
+                .collect()
+        }
+    }
+
+    #[test]
+    fn re_emitted_points_are_dispatched_at_most_once() {
+        let executor = FakeExecutor::new();
+        let campaign = Campaign::new(demo_space(3), &executor, CampaignConfig::default());
+        let report = campaign.run(&Stubborn, &mut CampaignState::default());
+        assert_eq!(report.executed_now, 6, "3 points x 2 workloads, once each");
+        assert_eq!(report.planned_points, 3);
+        assert_eq!(executor.executions.load(Ordering::Relaxed), 6);
     }
 }

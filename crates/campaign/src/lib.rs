@@ -1,5 +1,5 @@
 //! Fault-injection campaigns: parallel exploration of a target's fault
-//! space with pluggable search strategies.
+//! space with pluggable, feedback-driven search strategies.
 //!
 //! The paper's workflow — profile the library, analyze call sites, generate
 //! scenarios, run, triage — is a *loop over a fault space*: hundreds of
@@ -9,23 +9,32 @@
 //! * [`space`] — enumerate the fault space from a [`FaultProfile`] and the
 //!   target binary, and annotate it with analyzer classifications and
 //!   baseline reachability;
-//! * [`strategy`] — decide what to explore and in what order:
+//! * [`strategy`] — schedule what to explore, batch by batch:
 //!   [`Exhaustive`], seed-deterministic [`RandomSample`], and
 //!   [`InjectionGuided`] (prune unreached call sites, explore
 //!   analyzer-flagged unchecked sites first — the paper's accuracy insight
 //!   as a search policy);
-//! * [`engine`] — expand the plan into work units and drain them on a
-//!   parallel worker pool, each unit on a fresh VM;
+//! * [`adaptive`] — [`CoverageAdaptive`], the guided ordering made
+//!   reactive: between batches it escalates fault points near observed
+//!   crash signatures and deprioritizes points whose caller neighborhood
+//!   keeps passing;
+//! * [`history`] — the [`CampaignHistory`] feedback channel strategies read
+//!   between batches;
+//! * [`engine`] — expand each batch into work units with **canonical ids**
+//!   (stable positions in the space × workload expansion) and drain them on
+//!   a parallel worker pool, each unit on a fresh VM;
 //! * [`triage`] — deduplicate failures into crash signatures, so the report
 //!   lists bugs, not runs;
 //! * [`state`] — persist completed units as JSON and resume interrupted
-//!   campaigns;
+//!   campaigns; state is tagged `fingerprint@plan-hash`, so re-annotating,
+//!   re-profiling, or editing a workload suite invalidates a checkpoint
+//!   instead of misapplying it;
 //! * [`standard`] — a ready-made [`Executor`] for the stock `*-lite`
 //!   evaluation targets.
 //!
 //! ```
 //! use lfi_campaign::{
-//!     Campaign, CampaignConfig, CampaignState, InjectionGuided, StandardExecutor,
+//!     Campaign, CampaignConfig, CampaignState, CoverageAdaptive, StandardExecutor,
 //! };
 //! use lfi_targets::standard_controller;
 //!
@@ -33,25 +42,29 @@
 //! let profile = standard_controller().profile_libraries();
 //! let mut space = executor.fault_space(&["git-lite"], &profile);
 //! space.retain(|p| p.function == "opendir");
-//! executor.annotate_baseline_reachability(&mut space);
+//! executor.annotate_baseline_reachability(&mut space, 7);
 //!
 //! let campaign = Campaign::new(space, &executor, CampaignConfig { jobs: 2, seed: 7 });
 //! let mut state = CampaignState::default();
-//! let report = campaign.run(&InjectionGuided, &mut state);
+//! let report = campaign.run(&CoverageAdaptive::default(), &mut state);
 //! assert!(report.triage.distinct_crashes() > 0); // the git-readdir-null bug
 //! ```
 
+pub mod adaptive;
 pub mod engine;
+pub mod history;
 pub mod space;
 pub mod standard;
 pub mod state;
 pub mod strategy;
 pub mod triage;
 
+pub use adaptive::CoverageAdaptive;
 pub use engine::{
-    Campaign, CampaignConfig, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, RunRecord,
-    WorkUnit,
+    derive_seed, Campaign, CampaignConfig, CrashInfo, Execution, Executor, InjectedSite,
+    OutcomeKind, RunRecord, WorkUnit,
 };
+pub use history::CampaignHistory;
 pub use space::{FaultPoint, FaultSpace};
 pub use standard::{default_test_suite, run_target, StandardExecutor};
 pub use state::CampaignState;

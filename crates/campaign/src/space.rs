@@ -139,10 +139,13 @@ impl FaultSpace {
         self.points.is_empty()
     }
 
-    /// A stable digest of the space's identity (every point's target,
-    /// function, and offset, in order). Folded into the resumable-state tag
-    /// so a persisted campaign cannot be resumed against a different or
-    /// reordered fault space, where unit ids would no longer line up.
+    /// A stable digest of the space's **full** identity: every point's
+    /// target, function, offset, and caller, plus the injected error case
+    /// (`retval`/`errno`) and both annotations (`class`/`reached`), in
+    /// order. Folded into the resumable-state tag so a persisted campaign
+    /// cannot be resumed against a different, reordered, re-profiled, or
+    /// re-annotated fault space — anywhere unit ids would keep lining up
+    /// while the scenarios (or a guided schedule) behind them changed.
     pub fn digest(&self) -> u64 {
         // FNV-1a over the identifying fields.
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -156,6 +159,26 @@ impl FaultSpace {
             mix(point.target.as_bytes());
             mix(point.function.as_bytes());
             mix(&point.offset.to_le_bytes());
+            match &point.caller {
+                Some(caller) => mix(caller.as_bytes()),
+                None => mix(&[0xfe]),
+            }
+            mix(&point.retval.to_le_bytes());
+            match point.errno {
+                Some(errno) => mix(&errno.to_le_bytes()),
+                None => mix(&[0xfe]),
+            }
+            mix(&[match point.class {
+                None => 0xf0,
+                Some(CallSiteClass::Unchecked) => 0,
+                Some(CallSiteClass::PartiallyChecked) => 1,
+                Some(CallSiteClass::Checked) => 2,
+            }]);
+            mix(&[match point.reached {
+                None => 0xf0,
+                Some(false) => 0,
+                Some(true) => 1,
+            }]);
             mix(&[0xff]);
         }
         hash
@@ -237,5 +260,35 @@ mod tests {
         // An empty baseline marks every point unreached.
         space.annotate_reached("demo", &Coverage::new());
         assert!(space.points.iter().all(|p| p.reached == Some(false)));
+    }
+
+    #[test]
+    fn digest_covers_error_cases_and_annotations() {
+        let exe = demo_exe();
+        let profile = lfi_profiler::profile_library(&lfi_libc::build());
+        let mut space = FaultSpace::new();
+        space.add_target("demo", &exe, &profile);
+        let bare = space.digest();
+        assert_eq!(bare, space.clone().digest(), "digest is stable");
+
+        // Changing the injected error case changes the identity.
+        let mut other_case = space.clone();
+        other_case.points[0].retval = -2;
+        assert_ne!(bare, other_case.digest());
+        let mut other_errno = space.clone();
+        other_errno.points[0].errno = Some(999);
+        assert_ne!(bare, other_errno.digest());
+
+        // So does (re-)annotating: classifications and reachability drive
+        // guided schedules, so a checkpoint must not survive them.
+        let mut annotated = space.clone();
+        annotated.annotate_analysis(
+            "demo",
+            &lfi_analyzer::analyze_program(&exe, &profile, lfi_analyzer::AnalysisConfig::default()),
+        );
+        assert_ne!(bare, annotated.digest());
+        let mut reached = space.clone();
+        reached.annotate_reached("demo", &Coverage::new());
+        assert_ne!(bare, reached.digest());
     }
 }

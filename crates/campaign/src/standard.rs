@@ -17,7 +17,9 @@ use lfi_targets::{
 };
 use lfi_vm::{Coverage, Fault, NetHandle};
 
-use crate::engine::{CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, WorkUnit};
+use crate::engine::{
+    derive_seed, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, WorkUnit,
+};
 use crate::space::FaultSpace;
 
 /// The default per-target workloads (program arguments per run) — the
@@ -137,7 +139,17 @@ impl StandardExecutor {
     /// injections, recording coverage, and annotate the space with which
     /// call sites the baseline reaches — the signal `InjectionGuided`
     /// prunes on. (Cluster targets are left unannotated.)
-    pub fn annotate_baseline_reachability(&self, space: &mut FaultSpace) {
+    ///
+    /// `seed` should be the campaign's base seed: each workload is profiled
+    /// under a [`derive_seed`]-mixed per-workload seed and the coverage is
+    /// merged, so the baseline samples the same mixed-seed family campaign
+    /// units run under instead of a fixed out-of-band seed. This is a
+    /// heuristic, not a guarantee: units of a point run under per-unit
+    /// derived seeds, and profiling each of those would cost one baseline
+    /// run per unit, so a workload whose control flow is extremely
+    /// seed-sensitive can still be annotated unreached on a site some unit
+    /// seed would reach.
+    pub fn annotate_baseline_reachability(&self, space: &mut FaultSpace, seed: u64) {
         for target in space.targets() {
             if target == "bft-lite" {
                 continue;
@@ -147,8 +159,15 @@ impl StandardExecutor {
             };
             let mut baseline = Coverage::new();
             let no_faults = lfi_core::Scenario::new();
-            for args in default_test_suite(&target) {
-                let report = run_target(&target, exe, &no_faults, args, true, 1);
+            for (workload, args) in default_test_suite(&target).into_iter().enumerate() {
+                let report = run_target(
+                    &target,
+                    exe,
+                    &no_faults,
+                    args,
+                    true,
+                    derive_seed(seed, workload as u64),
+                );
                 baseline.merge(&report.coverage);
             }
             space.annotate_reached(&target, &baseline);

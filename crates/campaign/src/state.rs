@@ -3,11 +3,15 @@
 //! Long campaigns survive interruption by checkpointing every completed run
 //! record. A resumed campaign skips completed units and re-triages the full
 //! record set, so killing a sweep halfway loses only in-flight units. The
-//! state is tagged with the strategy *fingerprint* (name plus any
-//! plan-affecting parameters, e.g. a sample size and seed) and the campaign
-//! seed that produced the plan: adopting a state recorded under a different
-//! fingerprint or seed discards it, because unit ids are only stable within
-//! one plan.
+//! state is tagged `fingerprint@plan-hash` — the strategy *fingerprint*
+//! (name plus any schedule-affecting parameters, e.g. a sample size and
+//! seed) combined with the engine's plan hash over full fault-point
+//! identity (error cases and annotations included) and every target's
+//! workload suite — plus the campaign seed. Adopting a state recorded under
+//! a different tag or seed discards it, because unit ids are only
+//! meaningful within one plan: a checkpoint taken under one annotation set
+//! or test suite must start fresh rather than attribute records to the
+//! wrong units.
 
 use std::collections::BTreeSet;
 
@@ -25,16 +29,23 @@ pub struct CampaignState {
 }
 
 impl CampaignState {
-    /// Bind this state to a `(strategy fingerprint, seed)` pair. If the
-    /// state was recorded under a different pair its records are discarded —
-    /// their unit ids would not line up with the new plan.
-    pub fn adopt(&mut self, fingerprint: &str, seed: u64) {
-        if self.strategy != fingerprint || self.seed != seed {
+    /// Bind this state to a `(state tag, seed)` pair, where the tag is the
+    /// engine's `fingerprint@plan-hash`. If the state was recorded under a
+    /// different pair its records are discarded — their unit ids would not
+    /// line up with the new plan.
+    pub fn adopt(&mut self, tag: &str, seed: u64) {
+        if self.strategy != tag || self.seed != seed {
             self.records.clear();
             self.completed.clear();
-            self.strategy = fingerprint.to_string();
+            self.strategy = tag.to_string();
             self.seed = seed;
         }
+    }
+
+    /// The `fingerprint@plan-hash` tag this state is bound to (empty until
+    /// first adopted).
+    pub fn tag(&self) -> &str {
+        &self.strategy
     }
 
     /// Whether a unit has already been executed.

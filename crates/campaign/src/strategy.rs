@@ -1,35 +1,52 @@
-//! Pluggable search strategies.
+//! Pluggable search strategies, as adaptive batch schedulers.
 //!
 //! A strategy decides *which* fault points of the space to explore and in
-//! *what order*. It returns indices into [`FaultSpace::points`]; the engine
-//! expands each selected point into one work unit per workload and feeds
-//! them to the worker pool in the strategy's order.
+//! *what order* — but it no longer commits to a full plan up front. The
+//! engine repeatedly asks for the next **batch** of fault points (indices
+//! into [`FaultSpace::points`]), drains that batch on the worker pool, and
+//! feeds the completed [`RunRecord`](crate::engine::RunRecord)s back through
+//! the [`CampaignHistory`] before asking again. Static strategies simply
+//! emit their whole ordering in one batch; adaptive strategies (see
+//! [`CoverageAdaptive`](crate::adaptive::CoverageAdaptive)) reorder or prune
+//! the remainder between batches based on what the campaign has observed.
+//!
+//! The engine guarantees each fault point is dispatched at most once per
+//! run: points already dispatched are filtered out of every batch, and an
+//! empty (post-filter) batch ends the campaign. A strategy may therefore
+//! re-emit its full ordering on every call and rely on the engine to keep
+//! only the new points — the pattern the single-batch strategies below use.
 
 use lfi_analyzer::CallSiteClass;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+use crate::history::CampaignHistory;
 use crate::space::FaultSpace;
 
-/// A fault-space search strategy.
+/// A fault-space search strategy: a scheduler that emits fault points in
+/// batches and may react to completed runs between batches.
 pub trait Strategy: Send + Sync {
     /// Short name used in reports.
     fn name(&self) -> &str;
 
     /// Plan identity used to tag persisted campaign state: two strategy
-    /// values with the same fingerprint must produce the same plan over the
-    /// same space, because resumed unit ids are only meaningful within one
-    /// plan. Strategies with parameters that affect the plan (sample size,
-    /// sampling seed, ...) must fold them in here.
+    /// values with the same fingerprint must schedule the same units over
+    /// the same space given the same history. Strategies with parameters
+    /// that affect scheduling (sample size, sampling seed, batch size, ...)
+    /// must fold them in here. The engine combines this fingerprint with a
+    /// plan hash of the space and workload suites to form the state tag.
     fn fingerprint(&self) -> String {
         self.name().to_string()
     }
 
-    /// Select and order the fault points to explore, as indices into
-    /// `space.points`.
-    fn plan(&self, space: &FaultSpace) -> Vec<usize>;
+    /// Emit the next batch of fault points to explore, as indices into
+    /// `space.points`. `history` carries every completed record (including
+    /// ones resumed from a checkpoint) and which points have already been
+    /// dispatched this run; the engine filters re-emitted points out, and
+    /// stops when a batch is empty after filtering.
+    fn next_batch(&self, space: &FaultSpace, history: &CampaignHistory) -> Vec<usize>;
 }
 
-/// Explore every fault point, in enumeration order.
+/// Explore every fault point, in enumeration order, as one batch.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Exhaustive;
 
@@ -38,14 +55,14 @@ impl Strategy for Exhaustive {
         "exhaustive"
     }
 
-    fn plan(&self, space: &FaultSpace) -> Vec<usize> {
+    fn next_batch(&self, space: &FaultSpace, _history: &CampaignHistory) -> Vec<usize> {
         (0..space.len()).collect()
     }
 }
 
-/// Explore a uniform random sample of the fault space. Sampling is a
-/// seed-deterministic Fisher–Yates shuffle truncated to `count` points, so
-/// the same seed always yields the same plan.
+/// Explore a uniform random sample of the fault space, as one batch.
+/// Sampling is a seed-deterministic Fisher–Yates shuffle truncated to
+/// `count` points, so the same seed always yields the same schedule.
 #[derive(Debug, Clone, Copy)]
 pub struct RandomSample {
     /// Number of fault points to sample (clamped to the space size).
@@ -63,7 +80,7 @@ impl Strategy for RandomSample {
         format!("random(count={},seed={})", self.count, self.seed)
     }
 
-    fn plan(&self, space: &FaultSpace) -> Vec<usize> {
+    fn next_batch(&self, space: &FaultSpace, _history: &CampaignHistory) -> Vec<usize> {
         let mut indices: Vec<usize> = (0..space.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Partial Fisher–Yates: position i receives a uniform draw from the
@@ -88,7 +105,7 @@ impl Strategy for RandomSample {
 pub struct InjectionGuided;
 
 /// Priority rank of a classification (lower explores earlier).
-fn rank(class: Option<CallSiteClass>) -> u8 {
+pub(crate) fn rank(class: Option<CallSiteClass>) -> u8 {
     match class {
         Some(CallSiteClass::Unchecked) => 0,
         Some(CallSiteClass::PartiallyChecked) => 1,
@@ -97,17 +114,24 @@ fn rank(class: Option<CallSiteClass>) -> u8 {
     }
 }
 
+/// The guided ordering over a space: unreached points pruned, the rest
+/// sorted by classification rank. Shared by [`InjectionGuided`] and the
+/// adaptive scheduler that starts from it.
+pub(crate) fn guided_order(space: &FaultSpace) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..space.len())
+        .filter(|&i| space.points[i].reached != Some(false))
+        .collect();
+    indices.sort_by_key(|&i| (rank(space.points[i].class), i));
+    indices
+}
+
 impl Strategy for InjectionGuided {
     fn name(&self) -> &str {
         "guided"
     }
 
-    fn plan(&self, space: &FaultSpace) -> Vec<usize> {
-        let mut indices: Vec<usize> = (0..space.len())
-            .filter(|&i| space.points[i].reached != Some(false))
-            .collect();
-        indices.sort_by_key(|&i| (rank(space.points[i].class), i));
-        indices
+    fn next_batch(&self, space: &FaultSpace, _history: &CampaignHistory) -> Vec<usize> {
+        guided_order(space)
     }
 }
 
@@ -134,26 +158,32 @@ mod tests {
         FaultSpace { points }
     }
 
+    fn empty_history(space: &FaultSpace) -> CampaignHistory {
+        CampaignHistory::for_space_size(space.len())
+    }
+
     #[test]
     fn exhaustive_selects_everything_in_order() {
         let space = space_of((0..5).map(|i| point("read", i * 4)).collect());
-        assert_eq!(Exhaustive.plan(&space), vec![0, 1, 2, 3, 4]);
+        let history = empty_history(&space);
+        assert_eq!(Exhaustive.next_batch(&space, &history), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn random_sample_is_deterministic_under_a_fixed_seed() {
         let space = space_of((0..50).map(|i| point("read", i * 4)).collect());
+        let history = empty_history(&space);
         let a = RandomSample {
             count: 10,
             seed: 42,
         }
-        .plan(&space);
+        .next_batch(&space, &history);
         let b = RandomSample {
             count: 10,
             seed: 42,
         }
-        .plan(&space);
-        assert_eq!(a, b, "same seed, same plan");
+        .next_batch(&space, &history);
+        assert_eq!(a, b, "same seed, same schedule");
         assert_eq!(a.len(), 10);
         let mut dedup = a.clone();
         dedup.sort_unstable();
@@ -164,7 +194,7 @@ mod tests {
             count: 10,
             seed: 43,
         }
-        .plan(&space);
+        .next_batch(&space, &history);
         assert_ne!(a, c, "different seeds explore differently");
         // Plan-affecting parameters are part of the state fingerprint, so a
         // resumed state from a differently-parameterized sample is discarded
@@ -174,7 +204,7 @@ mod tests {
         assert_ne!(fp(10, 42), fp(20, 42));
 
         // Oversized requests clamp to the space.
-        let all = RandomSample { count: 99, seed: 1 }.plan(&space);
+        let all = RandomSample { count: 99, seed: 1 }.next_batch(&space, &history);
         assert_eq!(all.len(), 50);
     }
 
@@ -194,10 +224,11 @@ mod tests {
         let unknown = point("read", 16); // no annotations at all
 
         let space = space_of(vec![unreached, checked, unchecked, partial, unknown]);
-        let plan = InjectionGuided.plan(&space);
+        let history = empty_history(&space);
+        let batch = InjectionGuided.next_batch(&space, &history);
         // The unreached point (index 0) is pruned; the rest are ordered
         // unchecked, partial, unknown, checked.
-        assert_eq!(plan, vec![2, 3, 4, 1]);
-        assert!(plan.len() < space.len(), "guided explores fewer points");
+        assert_eq!(batch, vec![2, 3, 4, 1]);
+        assert!(batch.len() < space.len(), "guided explores fewer points");
     }
 }

@@ -105,14 +105,19 @@ pub fn triage(records: &[RunRecord]) -> Triage {
 /// The final artifact of a campaign run.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
-    /// Strategy that produced the plan.
+    /// Strategy that produced the schedule.
     pub strategy: String,
     /// Total fault points in the space.
     pub space_size: usize,
-    /// Fault points the strategy selected.
+    /// Fault points the strategy dispatched across all batches.
     pub planned_points: usize,
-    /// Work units in the plan (points x workloads).
+    /// Work units covered by the dispatched points (points x workloads).
     pub units_total: usize,
+    /// Non-empty batches the strategy emitted this session.
+    pub batches: usize,
+    /// Peak worker threads spawned by any batch (0 when every unit was
+    /// already completed by a resumed state).
+    pub peak_workers: usize,
     /// Units executed in this session (excludes resumed ones).
     pub executed_now: usize,
     /// Every run record, this session and resumed ones, by unit id.
@@ -125,10 +130,11 @@ impl fmt::Display for CampaignReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "campaign[{}]: {} of {} fault points planned, {} units ({} run now)",
+            "campaign[{}]: {} of {} fault points planned in {}, {} units ({} run now)",
             self.strategy,
             self.planned_points,
             self.space_size,
+            plural2(self.batches, "batch", "batches"),
             self.units_total,
             self.executed_now
         )?;
@@ -161,10 +167,14 @@ impl fmt::Display for CampaignReport {
 }
 
 fn plural(n: usize, noun: &str) -> String {
+    plural2(n, noun, &format!("{noun}s"))
+}
+
+fn plural2(n: usize, one: &str, many: &str) -> String {
     if n == 1 {
-        format!("{n} {noun}")
+        format!("{n} {one}")
     } else {
-        format!("{n} {noun}s")
+        format!("{n} {many}")
     }
 }
 

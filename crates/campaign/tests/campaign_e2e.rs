@@ -60,7 +60,7 @@ fn guided_explores_fewer_units_without_losing_the_crash() {
             "close" | "pthread_mutex_unlock" | "read"
         )
     });
-    executor.annotate_baseline_reachability(&mut exhaustive_space);
+    executor.annotate_baseline_reachability(&mut exhaustive_space, 7);
     let guided_space = exhaustive_space.clone();
 
     let exhaustive_campaign = Campaign::new(

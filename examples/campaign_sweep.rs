@@ -2,26 +2,27 @@
 //!
 //! Demonstrates the campaign subsystem end to end: enumerate the fault
 //! space of all `*-lite` targets, annotate it with analyzer classifications
-//! and baseline reachability, explore it with the injection-guided strategy
-//! on a worker pool, triage the crashes into deduplicated signatures, and
-//! resume from persisted JSON state without re-running anything.
+//! and baseline reachability, explore it with the adaptive coverage-feedback
+//! scheduler on a worker pool, triage the crashes into deduplicated
+//! signatures, and resume from persisted JSON state without re-running
+//! anything.
 //!
-//! Usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|random]
+//! Usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|adaptive|random]
 
 use lfi::campaign::{
-    default_test_suite, Campaign, CampaignConfig, CampaignState, Exhaustive, InjectionGuided,
-    RandomSample, StandardExecutor, Strategy,
+    default_test_suite, Campaign, CampaignConfig, CampaignState, CoverageAdaptive, Exhaustive,
+    InjectionGuided, RandomSample, StandardExecutor, Strategy,
 };
 use lfi::targets::standard_controller;
 
 fn usage() -> ! {
-    eprintln!("usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|random]");
+    eprintln!("usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|adaptive|random]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut jobs = 2usize;
-    let mut strategy: Box<dyn Strategy> = Box::new(InjectionGuided);
+    let mut strategy: Box<dyn Strategy> = Box::new(CoverageAdaptive::default());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,6 +37,7 @@ fn main() {
                     Some("exhaustive") => Box::new(Exhaustive),
                     Some("random") => Box::new(RandomSample { count: 40, seed: 7 }),
                     Some("guided") => Box::new(InjectionGuided),
+                    Some("adaptive") => Box::new(CoverageAdaptive::default()),
                     _ => usage(),
                 }
             }
@@ -57,7 +59,7 @@ fn main() {
                 "recvfrom" | "sendto" | "fopen" | "fwrite"
             )
     });
-    executor.annotate_baseline_reachability(&mut space);
+    executor.annotate_baseline_reachability(&mut space, 7);
     println!(
         "fault space: {} points across {} targets ({} workload runs if exhaustive)",
         space.len(),
@@ -69,13 +71,19 @@ fn main() {
             .sum::<usize>()
     );
 
-    // 2. Explore it on the worker pool.
+    // 2. Explore it on the worker pool, batch by batch. With the adaptive
+    // scheduler, completed batches feed back into the schedule: fault
+    // points near fresh crash signatures are escalated, repeatedly-passing
+    // caller neighborhoods sink to the back.
     let campaign = Campaign::new(space, &executor, CampaignConfig { jobs, seed: 7 });
     let mut state = CampaignState::default();
     let report = campaign.run(strategy.as_ref(), &mut state);
     println!("\n{report}");
 
-    // 3. Persist the state and resume: nothing is re-executed.
+    // 3. Persist the state and resume: nothing is re-executed. The state
+    // tag (strategy fingerprint @ plan hash) guarantees the checkpoint is
+    // only ever applied to the exact plan that produced it — re-annotating
+    // the space or editing a test suite would start fresh instead.
     let checkpoint = std::env::temp_dir().join("lfi_campaign_sweep.json");
     std::fs::write(&checkpoint, state.to_json()).expect("write checkpoint");
     let json = std::fs::read_to_string(&checkpoint).expect("read checkpoint");

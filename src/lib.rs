@@ -13,9 +13,10 @@
 //! * [`analyzer`](lfi_analyzer) — call-site analysis (Algorithm 1) and
 //!   recovery-block identification;
 //! * [`campaign`](lfi_campaign) — parallel fault-space exploration: enumerate
-//!   every (call site × error case) fault point, search it with pluggable
-//!   strategies on a worker pool, triage crashes into signatures, resume
-//!   interrupted sweeps from JSON state;
+//!   every (call site × error case) fault point, schedule it batch-by-batch
+//!   with pluggable strategies (including the adaptive coverage-feedback
+//!   scheduler) on a worker pool, triage crashes into signatures, resume
+//!   interrupted sweeps from JSON state tagged with the full plan identity;
 //! * the substrate: [`arch`](lfi_arch), [`obj`](lfi_obj), [`asm`](lfi_asm),
 //!   [`cc`](lfi_cc), [`vm`](lfi_vm), [`libc`](lfi_libc);
 //! * [`targets`](lfi_targets) — the BIND/MySQL/Git/PBFT/Apache analogues with
@@ -71,8 +72,8 @@ pub mod prelude {
     // The `Strategy` trait itself stays at `lfi::campaign::Strategy`: its
     // name collides with `proptest::prelude::Strategy` under glob imports.
     pub use lfi_campaign::{
-        Campaign, CampaignConfig, CampaignState, Exhaustive, FaultPoint, FaultSpace,
-        InjectionGuided, RandomSample, StandardExecutor,
+        Campaign, CampaignConfig, CampaignHistory, CampaignState, CoverageAdaptive, Exhaustive,
+        FaultPoint, FaultSpace, InjectionGuided, RandomSample, StandardExecutor,
     };
     pub use lfi_core::{
         Controller, FrameSpec, FunctionAssoc, InjectionEngine, RunToCompletion, Scenario,
