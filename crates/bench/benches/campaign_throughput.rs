@@ -1,12 +1,16 @@
 //! Criterion benchmark of campaign throughput (scenarios per second):
-//! the same git-lite fault-space sweep drained by one worker vs four, and
-//! the adaptive scheduler's batched drain vs the single-batch exhaustive
-//! one (the feedback loop between batches must not cost measurable
-//! throughput).
+//! the same git-lite fault-space sweep drained by one worker vs four,
+//! fresh-VM vs snapshot-fork execution backends, and the adaptive
+//! scheduler's batched drain vs the single-batch exhaustive one (the
+//! feedback loop between batches must not cost measurable throughput).
+//!
+//! The snapshot lanes fork every unit from a per-(target, workload)
+//! prefix snapshot instead of building a fresh VM; the triage must be
+//! identical to the fresh lanes' — only the wall clock may differ.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignState, CoverageAdaptive, Exhaustive, FaultSpace,
+    Campaign, CampaignConfig, CampaignState, CoverageAdaptive, ExecBackend, Exhaustive, FaultSpace,
     StandardExecutor,
 };
 use lfi_targets::standard_controller;
@@ -19,32 +23,49 @@ fn git_space(executor: &StandardExecutor) -> FaultSpace {
 }
 
 fn bench_campaign_throughput(c: &mut Criterion) {
-    let executor = StandardExecutor::new();
+    let executor = StandardExecutor::new(&["git-lite"]);
     let space = git_space(&executor);
     let units = Campaign::new(space.clone(), &executor, CampaignConfig::default()).total_units();
 
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(10);
-    for jobs in [1usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::new(format!("git_lite_{units}_scenarios"), jobs),
-            &jobs,
-            |b, &jobs| {
-                let campaign =
-                    Campaign::new(space.clone(), &executor, CampaignConfig { jobs, seed: 7 });
-                b.iter(|| {
-                    let report = campaign.run(&Exhaustive, &mut CampaignState::default());
-                    assert_eq!(report.executed_now, units);
-                    report.triage.crashes
-                });
-            },
-        );
+    for backend in [ExecBackend::Fresh, ExecBackend::Snapshot] {
+        let lane = match backend {
+            ExecBackend::Fresh => "fresh",
+            ExecBackend::Snapshot => "snapshot",
+        };
+        for jobs in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("git_lite_{units}_scenarios_{lane}"), jobs),
+                &jobs,
+                |b, &jobs| {
+                    let campaign = Campaign::new(
+                        space.clone(),
+                        &executor,
+                        CampaignConfig {
+                            jobs,
+                            seed: 7,
+                            backend,
+                        },
+                    );
+                    b.iter(|| {
+                        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+                        assert_eq!(report.executed_now, units);
+                        report.triage.crashes
+                    });
+                },
+            );
+        }
     }
     group.bench_function("git_lite_adaptive_jobs4", |b| {
         let campaign = Campaign::new(
             space.clone(),
             &executor,
-            CampaignConfig { jobs: 4, seed: 7 },
+            CampaignConfig {
+                jobs: 4,
+                seed: 7,
+                backend: ExecBackend::Fresh,
+            },
         );
         b.iter(|| {
             let report = campaign.run(&CoverageAdaptive::default(), &mut CampaignState::default());

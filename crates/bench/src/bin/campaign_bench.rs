@@ -1,0 +1,229 @@
+//! Campaign throughput benchmark and backend-parity check, emitted as a
+//! JSON artifact (`BENCH_campaign.json` in CI).
+//!
+//! Two sections:
+//!
+//! * **throughput** — the `campaign_throughput` workload (the git-lite
+//!   fault-space sweep) drained at `--jobs` workers under the fresh-VM and
+//!   snapshot-fork backends, reporting units/sec per lane and the snapshot
+//!   speedup. This is the lane comparison the snapshot backend is sized
+//!   by: the sweep is all single-process targets, so every unit forks.
+//! * **table1** — the full Table 1 hunt under both backends: identical run
+//!   records and crash signatures, and all 11 known bugs found by each.
+//!   (The hunt's wall clock is dominated by bft-lite cluster runs, which
+//!   cannot snapshot and always run fresh.)
+//!
+//! Exits non-zero if the backends disagree anywhere or a lane misses a
+//! known bug.
+//!
+//! Usage: campaign_bench [--jobs N] [--out FILE]
+
+use std::process::exit;
+use std::time::Instant;
+
+use lfi_bench::{match_known_bugs, table1_fault_space};
+use lfi_campaign::{
+    Campaign, CampaignConfig, CampaignReport, CampaignState, ExecBackend, Exhaustive, FaultSpace,
+    StandardExecutor,
+};
+use lfi_json::Value;
+use lfi_targets::{standard_controller, KNOWN_BUGS};
+
+const HUNT_TARGETS: [&str; 4] = ["bind-lite", "git-lite", "db-lite", "bft-lite"];
+
+fn usage() -> ! {
+    eprintln!("usage: campaign_bench [--jobs N] [--out FILE]");
+    exit(2);
+}
+
+fn backend_name(backend: ExecBackend) -> &'static str {
+    match backend {
+        ExecBackend::Fresh => "fresh",
+        ExecBackend::Snapshot => "snapshot",
+    }
+}
+
+struct Lane {
+    backend: ExecBackend,
+    seconds: f64,
+    report: CampaignReport,
+}
+
+/// Run one space exhaustively under `backend` on a fresh executor (own
+/// session cache, so lanes cannot profit from each other).
+fn run_lane(
+    make_executor: &dyn Fn() -> StandardExecutor,
+    space: &FaultSpace,
+    jobs: usize,
+    backend: ExecBackend,
+) -> Lane {
+    let executor = make_executor();
+    let campaign = Campaign::new(
+        space.clone(),
+        &executor,
+        CampaignConfig {
+            jobs,
+            seed: 7,
+            backend,
+        },
+    );
+    let start = Instant::now();
+    let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+    Lane {
+        backend,
+        seconds: start.elapsed().as_secs_f64(),
+        report,
+    }
+}
+
+fn lane_json(section: &str, jobs: usize, lane: &Lane) -> Value {
+    Value::Obj(vec![
+        ("section".to_string(), Value::Str(section.to_string())),
+        (
+            "backend".to_string(),
+            Value::Str(backend_name(lane.backend).to_string()),
+        ),
+        ("jobs".to_string(), Value::Int(jobs as i64)),
+        (
+            "units".to_string(),
+            Value::Int(lane.report.executed_now as i64),
+        ),
+        (
+            "seconds".to_string(),
+            Value::Str(format!("{:.3}", lane.seconds)),
+        ),
+        (
+            "units_per_sec".to_string(),
+            Value::Str(format!(
+                "{:.1}",
+                lane.report.executed_now as f64 / lane.seconds
+            )),
+        ),
+        (
+            "distinct_crash_signatures".to_string(),
+            Value::Int(lane.report.triage.distinct_crashes() as i64),
+        ),
+    ])
+}
+
+fn print_lane(section: &str, jobs: usize, lane: &Lane) {
+    println!(
+        "{section:<11} {:<9} jobs={jobs} units={} time={:.3}s throughput={:.1} units/sec",
+        backend_name(lane.backend),
+        lane.report.executed_now,
+        lane.seconds,
+        lane.report.executed_now as f64 / lane.seconds,
+    );
+}
+
+fn main() {
+    let mut jobs = 4usize;
+    let mut out = "BENCH_campaign.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage()),
+            _ => usage(),
+        }
+    }
+    let mut failures: Vec<String> = Vec::new();
+
+    // Throughput section: the campaign_throughput sweep (git-lite).
+    let make_git = || StandardExecutor::new(&["git-lite"]);
+    let git_space = {
+        let executor = make_git();
+        let profile = standard_controller().profile_libraries();
+        let mut space = executor.fault_space(&["git-lite"], &profile);
+        executor.annotate_baseline_reachability(&mut space, 7);
+        space
+    };
+    let sweep_fresh = run_lane(&make_git, &git_space, jobs, ExecBackend::Fresh);
+    let sweep_snapshot = run_lane(&make_git, &git_space, jobs, ExecBackend::Snapshot);
+    let speedup = sweep_fresh.seconds / sweep_snapshot.seconds.max(f64::EPSILON);
+    if sweep_fresh.report.records != sweep_snapshot.report.records {
+        failures.push("throughput lanes produced different records".to_string());
+    }
+
+    // Table 1 section: the full hunt, both backends.
+    let make_hunt = || StandardExecutor::new(&HUNT_TARGETS);
+    let hunt_space = table1_fault_space(&make_hunt(), 7);
+    let hunt_fresh = run_lane(&make_hunt, &hunt_space, jobs, ExecBackend::Fresh);
+    let hunt_snapshot = run_lane(&make_hunt, &hunt_space, jobs, ExecBackend::Snapshot);
+    if hunt_fresh.report.records != hunt_snapshot.report.records {
+        failures.push("table1 lanes produced different run records".to_string());
+    }
+    if hunt_fresh.report.triage.buckets != hunt_snapshot.report.triage.buckets {
+        failures.push("table1 lanes produced different crash signatures".to_string());
+    }
+    let mut bugs_found = Vec::new();
+    for lane in [&hunt_fresh, &hunt_snapshot] {
+        let table = match_known_bugs(&lane.report);
+        if table.found.len() != KNOWN_BUGS.len() {
+            failures.push(format!(
+                "table1 {} lane found {}/{} known bugs (missed: {:?})",
+                backend_name(lane.backend),
+                table.found.len(),
+                KNOWN_BUGS.len(),
+                table.missed
+            ));
+        }
+        bugs_found.push((backend_name(lane.backend), table.found.len()));
+    }
+
+    let doc = Value::Obj(vec![
+        (
+            "benchmark".to_string(),
+            Value::Str("campaign_throughput".to_string()),
+        ),
+        (
+            "lanes".to_string(),
+            Value::Arr(vec![
+                lane_json("throughput", jobs, &sweep_fresh),
+                lane_json("throughput", jobs, &sweep_snapshot),
+                lane_json("table1", jobs, &hunt_fresh),
+                lane_json("table1", jobs, &hunt_snapshot),
+            ]),
+        ),
+        (
+            "snapshot_speedup".to_string(),
+            Value::Str(format!("{speedup:.2}")),
+        ),
+        (
+            "known_bugs".to_string(),
+            Value::Obj(
+                bugs_found
+                    .iter()
+                    .map(|(name, found)| (name.to_string(), Value::Int(*found as i64)))
+                    .collect(),
+            ),
+        ),
+        ("parity".to_string(), Value::Bool(failures.is_empty())),
+    ]);
+    std::fs::write(&out, doc.to_pretty()).expect("write benchmark artifact");
+
+    print_lane("throughput", jobs, &sweep_fresh);
+    print_lane("throughput", jobs, &sweep_snapshot);
+    print_lane("table1", jobs, &hunt_fresh);
+    print_lane("table1", jobs, &hunt_snapshot);
+    for (name, found) in &bugs_found {
+        println!(
+            "table1 {name} backend: {found}/{} known bugs",
+            KNOWN_BUGS.len()
+        );
+    }
+    println!("snapshot speedup (throughput sweep): {speedup:.2}x (artifact: {out})");
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("FAIL: {failure}");
+        }
+        exit(1);
+    }
+    println!("parity: identical records and crash signatures across backends");
+}

@@ -1,14 +1,17 @@
 //! Regenerate the Table 1 bug hunt, run as a fault-space campaign.
 //!
-//! Usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random] [--sample N]
+//! Usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random]
+//!                    [--sample N] [--backend fresh|snapshot]
 
 use std::process::exit;
 
 use lfi_bench::{table1_campaign, HuntOptions, HuntStrategy};
+use lfi_campaign::ExecBackend;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random] [--sample N]"
+        "usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random] \
+         [--sample N] [--backend fresh|snapshot]"
     );
     exit(2);
 }
@@ -31,6 +34,13 @@ fn main() {
                 sample = args
                     .next()
                     .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--backend" => {
+                options.backend = args
+                    .next()
+                    .as_deref()
+                    .and_then(ExecBackend::parse)
                     .unwrap_or_else(|| usage())
             }
             _ => usage(),

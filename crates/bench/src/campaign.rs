@@ -9,8 +9,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignState, CoverageAdaptive, Exhaustive,
-    FaultSpace, InjectionGuided, OutcomeKind, RandomSample, StandardExecutor, Strategy,
+    Campaign, CampaignConfig, CampaignReport, CampaignState, CoverageAdaptive, ExecBackend,
+    Exhaustive, FaultSpace, InjectionGuided, OutcomeKind, RandomSample, StandardExecutor, Strategy,
 };
 use lfi_targets::{standard_controller, KNOWN_BUGS};
 
@@ -49,6 +49,8 @@ pub struct HuntOptions {
     pub strategy: HuntStrategy,
     /// Base seed.
     pub seed: u64,
+    /// Execution backend (fresh VM per unit, or snapshot-fork sessions).
+    pub backend: ExecBackend,
 }
 
 impl Default for HuntOptions {
@@ -57,6 +59,7 @@ impl Default for HuntOptions {
             jobs: 1,
             strategy: HuntStrategy::Exhaustive,
             seed: 7,
+            backend: ExecBackend::Fresh,
         }
     }
 }
@@ -84,7 +87,8 @@ pub fn table1_fault_space(executor: &StandardExecutor, seed: u64) -> FaultSpace 
 
 /// Run the Table 1 bug hunt as a campaign.
 pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
-    let executor = StandardExecutor::new();
+    // Only the four hunted targets are loaded; httpd-lite stays cold.
+    let executor = StandardExecutor::new(&HUNT_TARGETS);
     let space = table1_fault_space(&executor, options.seed);
     let campaign = Campaign::new(
         space,
@@ -92,6 +96,7 @@ pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
         CampaignConfig {
             jobs: options.jobs,
             seed: options.seed,
+            backend: options.backend,
         },
     );
     let strategy: Box<dyn Strategy> = match options.strategy {

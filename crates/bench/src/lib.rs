@@ -11,7 +11,8 @@ pub mod experiments;
 pub mod support;
 
 pub use campaign::{
-    table1_campaign, table1_fault_space, HuntOptions, HuntStrategy, Table1Campaign,
+    match_known_bugs, table1_campaign, table1_fault_space, HuntOptions, HuntStrategy,
+    Table1Campaign,
 };
 pub use experiments::{
     analyzer_efficiency, dos_study, figure3_pbft_slowdown, random_injection_sweep, table1_bugs,

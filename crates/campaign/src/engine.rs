@@ -7,9 +7,27 @@
 //! rest on `jobs` worker threads, and feeds the completed records back into
 //! the [`CampaignHistory`] before requesting the next batch — so strategies
 //! can react to results mid-campaign. Each worker pulls units off a shared
-//! cursor and hands them to the [`Executor`], which builds a **fresh VM
-//! instance per unit** — runs share nothing but the immutable target
-//! modules, so results are independent of the worker count and interleaving.
+//! cursor and hands them to the [`Executor`].
+//!
+//! ## Execution backends
+//!
+//! Two backends run units ([`ExecBackend`] in [`CampaignConfig`]):
+//!
+//! * **Fresh** — every unit builds a fresh VM via [`Executor::execute`];
+//!   runs share nothing but the immutable target modules.
+//! * **Snapshot** — the executor prepares one [`Session`] per
+//!   `(target, workload)` pair ([`Executor::prepare`]): the workload runs
+//!   once up to its first injectable library call and is captured as a VM
+//!   snapshot. Every unit of that pair then forks from the snapshot
+//!   ([`Executor::execute_from`]), so the prefix — target load, init, and
+//!   workload setup — is executed once instead of once per fault point.
+//!   Sessions are prepared lazily in an engine-owned cache shared across
+//!   worker threads; targets that cannot snapshot (multi-process cluster
+//!   targets return `None` from `prepare`) fall back to fresh VMs.
+//!
+//! Both backends must produce identical [`Execution`]s for the same unit —
+//! results stay independent of the backend, the worker count, and the
+//! interleaving, and resumable state is backend-agnostic.
 //!
 //! ## Unit identity and resumability
 //!
@@ -24,9 +42,10 @@
 //! edited test suite — therefore invalidates the checkpoint instead of
 //! silently misapplying it.
 
-use std::collections::BTreeSet;
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
 use lfi_core::Scenario;
@@ -146,16 +165,91 @@ pub struct RunRecord {
     pub virtual_time: u64,
 }
 
+/// An opaque prepared execution session for one `(target, workload)` pair,
+/// produced by [`Executor::prepare`] and cached by the engine.
+///
+/// The engine never looks inside a session — it only caches it per
+/// `(target, workload)` key and hands it back to
+/// [`Executor::execute_from`], which downcasts to whatever payload its
+/// `prepare` stored (for the standard executor: a VM snapshot paused at the
+/// workload's first injectable library call).
+pub struct Session(Box<dyn Any + Send + Sync>);
+
+impl Session {
+    /// Wrap an executor-specific payload.
+    pub fn new<T: Any + Send + Sync>(payload: T) -> Session {
+        Session(Box::new(payload))
+    }
+
+    /// Recover the payload stored by [`Session::new`].
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").finish_non_exhaustive()
+    }
+}
+
 /// Runs work units against real targets. Implementations must be shareable
-/// across worker threads; every `execute` call is expected to build a fresh
-/// VM so units never share mutable state.
+/// across worker threads.
+///
+/// The trait is a **session model**: under the snapshot backend the engine
+/// calls [`Executor::prepare`] once per `(target, workload)` pair and
+/// [`Executor::execute_from`] once per unit; under the fresh backend (and
+/// for targets whose `prepare` returns `None`) it calls
+/// [`Executor::execute`], which must build a fresh VM so units never share
+/// mutable state. Whichever path runs a unit, the resulting [`Execution`]
+/// must be identical — the backend is a performance choice, not a
+/// semantics choice.
 pub trait Executor: Sync {
     /// The workload argument lists forming `target`'s default test suite.
     /// Every selected fault point is run once per workload.
     fn workloads(&self, target: &str) -> Vec<Vec<String>>;
 
+    /// Prepare a reusable session for one `(target, workload)` pair: run the
+    /// workload's shared prefix once and capture it. Return `None` when the
+    /// target cannot snapshot (e.g. multi-process cluster targets); its
+    /// units then run through [`Executor::execute`]. The default never
+    /// snapshots, so fresh-only executors need not implement the session
+    /// half.
+    fn prepare(&self, _target: &str, _args: &[String]) -> Option<Session> {
+        None
+    }
+
+    /// Execute one unit by forking the prepared session. Only called with
+    /// sessions this executor returned from [`Executor::prepare`]; the
+    /// default delegates to a fresh run.
+    fn execute_from(&self, _session: &Session, unit: &WorkUnit) -> Execution {
+        self.execute(unit)
+    }
+
     /// Execute one unit on a fresh VM instance.
     fn execute(&self, unit: &WorkUnit) -> Execution;
+}
+
+/// How the engine runs work units — see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// A fresh VM per unit.
+    #[default]
+    Fresh,
+    /// Fork each unit from a prepared per-`(target, workload)` snapshot,
+    /// falling back to fresh VMs for targets that cannot snapshot.
+    Snapshot,
+}
+
+impl ExecBackend {
+    /// Parse a backend name as used by the command-line tools.
+    pub fn parse(name: &str) -> Option<ExecBackend> {
+        match name {
+            "fresh" => Some(ExecBackend::Fresh),
+            "snapshot" => Some(ExecBackend::Snapshot),
+            _ => None,
+        }
+    }
 }
 
 /// Campaign configuration.
@@ -167,11 +261,19 @@ pub struct CampaignConfig {
     /// Base seed; unit seeds are derived from it and the canonical unit id
     /// via [`derive_seed`].
     pub seed: u64,
+    /// Execution backend. Not part of the persisted plan identity: both
+    /// backends produce identical records, so a checkpoint written under one
+    /// backend resumes cleanly under the other.
+    pub backend: ExecBackend,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { jobs: 1, seed: 7 }
+        CampaignConfig {
+            jobs: 1,
+            seed: 7,
+            backend: ExecBackend::Fresh,
+        }
     }
 }
 
@@ -185,6 +287,46 @@ pub fn derive_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A `(target, workload arguments)` session key.
+type SessionKey = (String, Vec<String>);
+/// One cache slot: prepared at most once, `None` when the target cannot
+/// snapshot.
+type SessionSlot = Arc<OnceLock<Option<Arc<Session>>>>;
+
+/// The engine-owned cache of prepared sessions, keyed by `(target,
+/// workload arguments)` and shared across worker threads. Each key is
+/// prepared at most once, by the first worker that needs it; workers
+/// needing the same key wait for that preparation, while different keys
+/// prepare concurrently. A `None` entry records that the target cannot
+/// snapshot, so the fallback decision is also made only once.
+#[derive(Default)]
+struct SessionCache {
+    slots: Mutex<BTreeMap<SessionKey, SessionSlot>>,
+}
+
+impl SessionCache {
+    fn get(&self, executor: &dyn Executor, target: &str, args: &[String]) -> Option<Arc<Session>> {
+        let slot = {
+            let mut slots = self.slots.lock().unwrap();
+            slots
+                .entry((target.to_string(), args.to_vec()))
+                .or_default()
+                .clone()
+        };
+        slot.get_or_init(|| executor.prepare(target, args).map(Arc::new))
+            .clone()
+    }
+
+    fn prepared(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|slot| matches!(slot.get(), Some(Some(_))))
+            .count()
+    }
+}
+
 /// A fault-space exploration campaign.
 pub struct Campaign<'a> {
     space: FaultSpace,
@@ -196,6 +338,8 @@ pub struct Campaign<'a> {
     unit_base: Vec<usize>,
     /// Total canonical units (points × their workload suites).
     total_units: usize,
+    /// Prepared sessions (snapshot backend only).
+    sessions: SessionCache,
 }
 
 impl<'a> Campaign<'a> {
@@ -226,6 +370,29 @@ impl<'a> Campaign<'a> {
             suites,
             unit_base,
             total_units,
+            sessions: SessionCache::default(),
+        }
+    }
+
+    /// Number of sessions the snapshot backend has prepared so far (0 under
+    /// the fresh backend, and for executors that never snapshot).
+    pub fn prepared_sessions(&self) -> usize {
+        self.sessions.prepared()
+    }
+
+    /// Run one unit through the configured backend.
+    fn run_unit(&self, unit: &WorkUnit) -> Execution {
+        match self.config.backend {
+            ExecBackend::Fresh => self.executor.execute(unit),
+            ExecBackend::Snapshot => {
+                match self
+                    .sessions
+                    .get(self.executor, &unit.point.target, &unit.args)
+                {
+                    Some(session) => self.executor.execute_from(&session, unit),
+                    None => self.executor.execute(unit),
+                }
+            }
         }
     }
 
@@ -318,7 +485,7 @@ impl<'a> Campaign<'a> {
                     let Some(unit) = pending.get(next) else {
                         break;
                     };
-                    let execution = self.executor.execute(unit);
+                    let execution = self.run_unit(unit);
                     let record = RunRecord {
                         unit: unit.id,
                         target: unit.point.target.clone(),
@@ -508,11 +675,19 @@ mod tests {
     fn unit_seeds_do_not_collide_across_adjacent_campaign_seeds() {
         let executor = FakeExecutor::new();
         let seeds_of = |seed| {
-            Campaign::new(demo_space(64), &executor, CampaignConfig { jobs: 1, seed })
-                .units()
-                .iter()
-                .map(|u| u.seed)
-                .collect::<Vec<u64>>()
+            Campaign::new(
+                demo_space(64),
+                &executor,
+                CampaignConfig {
+                    jobs: 1,
+                    seed,
+                    ..CampaignConfig::default()
+                },
+            )
+            .units()
+            .iter()
+            .map(|u| u.seed)
+            .collect::<Vec<u64>>()
         };
         let a = seeds_of(7);
         let b = seeds_of(8);
@@ -538,7 +713,11 @@ mod tests {
         let campaign = Campaign::new(
             demo_space(9),
             &serial_exec,
-            CampaignConfig { jobs: 1, seed: 7 },
+            CampaignConfig {
+                jobs: 1,
+                seed: 7,
+                ..CampaignConfig::default()
+            },
         );
         let mut serial_state = CampaignState::default();
         let serial = campaign.run(&Exhaustive, &mut serial_state);
@@ -547,7 +726,11 @@ mod tests {
         let campaign = Campaign::new(
             demo_space(9),
             &parallel_exec,
-            CampaignConfig { jobs: 4, seed: 7 },
+            CampaignConfig {
+                jobs: 4,
+                seed: 7,
+                ..CampaignConfig::default()
+            },
         );
         let mut parallel_state = CampaignState::default();
         let parallel = campaign.run(&Exhaustive, &mut parallel_state);
@@ -611,7 +794,11 @@ mod tests {
         let campaign = Campaign::new(
             demo_space(4),
             &executor,
-            CampaignConfig { jobs: 4, seed: 7 },
+            CampaignConfig {
+                jobs: 4,
+                seed: 7,
+                ..CampaignConfig::default()
+            },
         );
         let report = campaign.run(&Exhaustive, &mut CampaignState::default());
         assert_eq!(report.executed_now, 4);
@@ -711,5 +898,108 @@ mod tests {
         assert_eq!(report.executed_now, 6, "3 points x 2 workloads, once each");
         assert_eq!(report.planned_points, 3);
         assert_eq!(executor.executions.load(Ordering::Relaxed), 6);
+    }
+
+    /// A session-capable fake: sessions carry the `(target, args)` key they
+    /// were prepared for, `execute_from` produces the same execution as
+    /// `execute`, and both preparation and per-path executions are counted.
+    struct SessionExecutor {
+        inner: FakeExecutor,
+        snapshottable: bool,
+        prepares: AtomicUsize,
+        forked: AtomicUsize,
+    }
+
+    impl SessionExecutor {
+        fn new(snapshottable: bool) -> SessionExecutor {
+            SessionExecutor {
+                inner: FakeExecutor::new(),
+                snapshottable,
+                prepares: AtomicUsize::new(0),
+                forked: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Executor for SessionExecutor {
+        fn workloads(&self, target: &str) -> Vec<Vec<String>> {
+            self.inner.workloads(target)
+        }
+
+        fn prepare(&self, target: &str, args: &[String]) -> Option<Session> {
+            // Count every consultation, including refusals — the engine's
+            // cache must memoize the `None` outcome too.
+            self.prepares.fetch_add(1, Ordering::Relaxed);
+            if !self.snapshottable {
+                return None;
+            }
+            Some(Session::new((target.to_string(), args.to_vec())))
+        }
+
+        fn execute_from(&self, session: &Session, unit: &WorkUnit) -> Execution {
+            let (target, args) = session
+                .downcast_ref::<(String, Vec<String>)>()
+                .expect("session payload");
+            assert_eq!(target, &unit.point.target, "session matches unit");
+            assert_eq!(args, &unit.args, "session matches workload");
+            self.forked.fetch_add(1, Ordering::Relaxed);
+            self.inner.execute(unit)
+        }
+
+        fn execute(&self, unit: &WorkUnit) -> Execution {
+            self.inner.execute(unit)
+        }
+    }
+
+    fn snapshot_config(jobs: usize) -> CampaignConfig {
+        CampaignConfig {
+            jobs,
+            seed: 7,
+            backend: ExecBackend::Snapshot,
+        }
+    }
+
+    #[test]
+    fn snapshot_backend_prepares_once_per_target_and_workload() {
+        let executor = SessionExecutor::new(true);
+        let campaign = Campaign::new(demo_space(9), &executor, snapshot_config(4));
+        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+        assert_eq!(report.executed_now, 18, "9 points x 2 workloads");
+        // One target, two workloads: exactly two sessions, however many
+        // workers raced to prepare them.
+        assert_eq!(executor.prepares.load(Ordering::Relaxed), 2);
+        assert_eq!(campaign.prepared_sessions(), 2);
+        // Every unit ran through its session fork, none through execute's
+        // session-path counter... (execute is also the fork's delegate here,
+        // so count forks explicitly).
+        assert_eq!(executor.forked.load(Ordering::Relaxed), 18);
+    }
+
+    #[test]
+    fn snapshot_backend_matches_fresh_backend_records() {
+        let fresh_exec = FakeExecutor::new();
+        let campaign = Campaign::new(demo_space(7), &fresh_exec, CampaignConfig::default());
+        let fresh = campaign.run(&Exhaustive, &mut CampaignState::default());
+
+        let session_exec = SessionExecutor::new(true);
+        let campaign = Campaign::new(demo_space(7), &session_exec, snapshot_config(3));
+        let snapshot = campaign.run(&Exhaustive, &mut CampaignState::default());
+
+        assert_eq!(fresh.records, snapshot.records);
+        assert_eq!(fresh.triage.buckets, snapshot.triage.buckets);
+    }
+
+    #[test]
+    fn unsnapshottable_targets_fall_back_to_fresh_execution() {
+        let executor = SessionExecutor::new(false);
+        let campaign = Campaign::new(demo_space(4), &executor, snapshot_config(2));
+        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+        assert_eq!(report.executed_now, 8);
+        assert_eq!(executor.forked.load(Ordering::Relaxed), 0, "no sessions");
+        assert_eq!(campaign.prepared_sessions(), 0);
+        // `prepare` was consulted once per (target, workload) — one target
+        // with two workloads — not once per unit: the None outcome is
+        // cached too.
+        assert_eq!(executor.prepares.load(Ordering::Relaxed), 2);
     }
 }

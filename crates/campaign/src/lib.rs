@@ -22,7 +22,11 @@
 //!   between batches;
 //! * [`engine`] — expand each batch into work units with **canonical ids**
 //!   (stable positions in the space × workload expansion) and drain them on
-//!   a parallel worker pool, each unit on a fresh VM;
+//!   a parallel worker pool, under one of two [`ExecBackend`]s: a fresh VM
+//!   per unit, or **snapshot-fork** — the workload prefix up to the first
+//!   injectable library call runs once per `(target, workload)` pair and
+//!   every unit forks from the captured VM snapshot, with identical
+//!   results either way;
 //! * [`triage`] — deduplicate failures into crash signatures, so the report
 //!   lists bugs, not runs;
 //! * [`state`] — persist completed units as JSON and resume interrupted
@@ -38,13 +42,20 @@
 //! };
 //! use lfi_targets::standard_controller;
 //!
-//! let executor = StandardExecutor::new();
+//! let executor = StandardExecutor::new(&["git-lite"]);
 //! let profile = standard_controller().profile_libraries();
 //! let mut space = executor.fault_space(&["git-lite"], &profile);
 //! space.retain(|p| p.function == "opendir");
 //! executor.annotate_baseline_reachability(&mut space, 7);
 //!
-//! let campaign = Campaign::new(space, &executor, CampaignConfig { jobs: 2, seed: 7 });
+//! let campaign = Campaign::new(
+//!     space,
+//!     &executor,
+//!     CampaignConfig {
+//!         jobs: 2,
+//!         ..CampaignConfig::default()
+//!     },
+//! );
 //! let mut state = CampaignState::default();
 //! let report = campaign.run(&CoverageAdaptive::default(), &mut state);
 //! assert!(report.triage.distinct_crashes() > 0); // the git-readdir-null bug
@@ -61,12 +72,12 @@ pub mod triage;
 
 pub use adaptive::CoverageAdaptive;
 pub use engine::{
-    derive_seed, Campaign, CampaignConfig, CrashInfo, Execution, Executor, InjectedSite,
-    OutcomeKind, RunRecord, WorkUnit,
+    derive_seed, Campaign, CampaignConfig, CrashInfo, ExecBackend, Execution, Executor,
+    InjectedSite, OutcomeKind, RunRecord, Session, WorkUnit,
 };
 pub use history::CampaignHistory;
 pub use space::{FaultPoint, FaultSpace};
-pub use standard::{default_test_suite, run_target, StandardExecutor};
+pub use standard::{default_test_suite, run_target, StandardExecutor, STOCK_TARGETS};
 pub use state::CampaignState;
 pub use strategy::{Exhaustive, InjectionGuided, RandomSample, Strategy};
 pub use triage::{triage, CampaignReport, CrashSignature, SignatureBucket, Triage};

@@ -3,24 +3,54 @@
 //! [`StandardExecutor`] knows how to run every `*-lite` target the way the
 //! paper's experiments do: the single-process programs under their default
 //! test suites (bind-lite behind its networked client workload), and
-//! bft-lite as a full 4-replica cluster. Each `execute` call builds a fresh
-//! controller and VM, so the executor is safe to share across workers.
+//! bft-lite as a full 4-replica cluster.
+//!
+//! The executor implements both halves of the campaign engine's session
+//! model:
+//!
+//! * **Fresh** ([`Executor::execute`]): each call builds a fresh controller
+//!   and VM, so the executor is safe to share across workers.
+//! * **Snapshot** ([`Executor::prepare`] / [`Executor::execute_from`]): one
+//!   session per `(target, workload)` pair. The session image interposes
+//!   *every* profiled failing library function (so one image serves every
+//!   unit, whatever it injects), is cached per target (loader work shared
+//!   across the target's workloads), and the workload runs once up to its
+//!   first injectable call, where a [`MachineSnapshot`] captures it. Each
+//!   unit then forks the snapshot, reseeds the fork with its unit seed, and
+//!   resumes under its own injection engine. bft-lite is a multi-process
+//!   cluster and cannot snapshot; its `prepare` returns `None` and units
+//!   fall back to fresh cluster runs.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use lfi_core::{TestConfig, TestOutcome, TestReport};
+use lfi_core::{InjectionEngine, InjectionLog, TestConfig, TestOutcome, TestReport};
 use lfi_obj::Module;
 use lfi_profiler::FaultProfile;
 use lfi_targets::{
-    all_targets, networked_controller, run_bft_cluster, standard_controller, BftClusterConfig,
-    BindWorkload, FsSetupWorkload,
+    bft_lite, bind_lite, db_lite, git_lite, httpd_lite, networked_controller, run_bft_cluster,
+    standard_controller, BftClusterConfig, BindWorkload, FsSetupWorkload,
 };
-use lfi_vm::{Coverage, Fault, NetHandle};
+use lfi_vm::{Coverage, Fault, Image, MachineSnapshot, NetHandle, NoHooks, RunExit};
 
 use crate::engine::{
-    derive_seed, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, WorkUnit,
+    derive_seed, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, Session, WorkUnit,
 };
 use crate::space::FaultSpace;
+
+/// Every stock evaluation target.
+pub const STOCK_TARGETS: [&str; 5] = ["bind-lite", "git-lite", "db-lite", "bft-lite", "httpd-lite"];
+
+fn stock_target(name: &str) -> Module {
+    match name {
+        "bind-lite" => bind_lite(),
+        "git-lite" => git_lite(),
+        "db-lite" => db_lite(),
+        "bft-lite" => bft_lite(),
+        "httpd-lite" => httpd_lite(),
+        other => panic!("unknown target {other}"),
+    }
+}
 
 /// The default per-target workloads (program arguments per run) — the
 /// "default test suite" each system ships with in the reproduction.
@@ -89,29 +119,83 @@ pub fn run_target(
     }
 }
 
+/// A `(target, workload arguments)` session key.
+type SessionKey = (String, Vec<String>);
+/// One memo slot, built at most once; `None` records that the pair refused
+/// to snapshot (e.g. its prefix consumed randomness).
+type SessionSlot = Arc<OnceLock<Option<Arc<PreparedSession>>>>;
+
+/// One prepared session: the target's VM captured at the workload's first
+/// injectable library call, plus the instruction budget the forks have left.
+struct PreparedSession {
+    snapshot: MachineSnapshot,
+    /// Coverage recorded by the shared prefix, stripped out of the snapshot
+    /// so injection forks do not clone it; baseline-reachability forks
+    /// merge it back with their continuation's coverage.
+    prefix_coverage: Coverage,
+    /// `TestConfig::max_instructions` minus the prefix's consumption, so a
+    /// fork that runs away exhausts its budget exactly where a fresh run
+    /// would.
+    budget_left: u64,
+}
+
 /// Executes campaign work units against the stock `*-lite` targets.
 pub struct StandardExecutor {
     targets: BTreeMap<String, Module>,
+    /// Names of every profiled library function with at least one error
+    /// case — the superset of functions any unit may inject. Session images
+    /// interpose all of them so a single snapshot serves every unit of its
+    /// `(target, workload)` pair; an engine with no association for an
+    /// intercepted function simply forwards the call, which is free.
+    /// Computed on first session use — fresh-backend executors never pay
+    /// for the library profiling pass.
+    injectable: OnceLock<Vec<String>>,
+    /// Loaded session images per target: the loader's layout and
+    /// instruction-predecoding work is shared by all of the target's
+    /// workload sessions (and their forks).
+    images: Mutex<BTreeMap<String, Arc<Image>>>,
+    /// Prepared sessions per `(target, workload)`, built at most once each.
+    prepared: Mutex<BTreeMap<SessionKey, SessionSlot>>,
     /// Client requests issued per bft-lite cluster run.
     pub bft_requests: usize,
 }
 
 impl Default for StandardExecutor {
     fn default() -> Self {
-        StandardExecutor::new()
+        StandardExecutor::all()
     }
 }
 
 impl StandardExecutor {
-    /// An executor over every stock target.
-    pub fn new() -> StandardExecutor {
+    /// An executor over the given subset of stock targets. Only the named
+    /// targets are compiled and loadable — a hunt over four targets does not
+    /// pay for the fifth. Panics on unknown target names.
+    pub fn new(targets: &[&str]) -> StandardExecutor {
         StandardExecutor {
-            targets: all_targets()
-                .into_iter()
-                .map(|(name, module)| (name.to_string(), module))
+            targets: targets
+                .iter()
+                .map(|name| (name.to_string(), stock_target(name)))
                 .collect(),
+            injectable: OnceLock::new(),
+            images: Mutex::new(BTreeMap::new()),
+            prepared: Mutex::new(BTreeMap::new()),
             bft_requests: 4,
         }
+    }
+
+    /// The union of profiled failing library functions session images
+    /// interpose (computed once, on first use).
+    fn injectable(&self) -> &[String] {
+        self.injectable.get_or_init(|| {
+            standard_controller()
+                .profile_libraries()
+                .failing_functions()
+        })
+    }
+
+    /// An executor over every stock target.
+    pub fn all() -> StandardExecutor {
+        StandardExecutor::new(&STOCK_TARGETS)
     }
 
     /// The module of one target.
@@ -135,40 +219,151 @@ impl StandardExecutor {
         space
     }
 
+    /// The loaded session image of a target (built on first use).
+    fn session_image(&self, target: &str) -> Arc<Image> {
+        let mut images = self.images.lock().unwrap();
+        images
+            .entry(target.to_string())
+            .or_insert_with(|| {
+                let exe = self
+                    .target(target)
+                    .unwrap_or_else(|| panic!("unknown target {target}"));
+                standard_controller()
+                    .build_image(exe, self.injectable())
+                    .expect("stock target must load")
+            })
+            .clone()
+    }
+
+    /// Build the prefix snapshot for one `(target, workload)` pair: set up
+    /// the workload, run to the first injectable call, snapshot. Coverage
+    /// recording stays on during the prefix so baseline-reachability forks
+    /// can keep accumulating; injection forks switch it off.
+    ///
+    /// Returns `None` when the prefix consumed randomness: forks reseed
+    /// the RNG with their unit seed, which replays fresh-VM behavior only
+    /// from an untouched stream, so such a pair must run fresh to keep the
+    /// backends observably identical.
+    fn build_session(&self, target: &str, args: &[String]) -> Option<PreparedSession> {
+        let image = self.session_image(target);
+        let (prep, budget) = if target == "bind-lite" {
+            let net = NetHandle::default();
+            let controller = networked_controller(net.clone());
+            let mut workload = BindWorkload::typical(net);
+            let config = TestConfig {
+                args: vec![workload.request_count().to_string()],
+                record_coverage: true,
+                ..TestConfig::default()
+            };
+            (
+                controller.prepare_session(image, self.injectable(), &mut workload, &config),
+                config.max_instructions,
+            )
+        } else {
+            let controller = standard_controller();
+            let config = TestConfig {
+                args: args.to_vec(),
+                record_coverage: true,
+                ..TestConfig::default()
+            };
+            (
+                controller.prepare_session(image, self.injectable(), &mut FsSetupWorkload, &config),
+                config.max_instructions,
+            )
+        };
+        let mut machine = prep.machine;
+        if !machine.rng_is_pristine() {
+            return None;
+        }
+        Some(PreparedSession {
+            budget_left: budget.saturating_sub(prep.instructions_used),
+            prefix_coverage: machine.take_coverage(),
+            snapshot: machine.snapshot(),
+        })
+    }
+
+    /// The memoized session of a `(target, workload)` pair, or `None` when
+    /// the pair cannot snapshot (the multi-process bft-lite cluster, or a
+    /// prefix that consumed randomness). The refusal is memoized too.
+    fn prepared_session(&self, target: &str, args: &[String]) -> Option<Arc<PreparedSession>> {
+        if target == "bft-lite" || !self.targets.contains_key(target) {
+            return None;
+        }
+        let slot = {
+            let mut prepared = self.prepared.lock().unwrap();
+            prepared
+                .entry((target.to_string(), args.to_vec()))
+                .or_default()
+                .clone()
+        };
+        slot.get_or_init(|| self.build_session(target, args).map(Arc::new))
+            .clone()
+    }
+
+    /// Number of `(target, workload)` sessions prepared so far.
+    pub fn sessions_prepared(&self) -> usize {
+        self.prepared
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|slot| matches!(slot.get(), Some(Some(_))))
+            .count()
+    }
+
     /// Run each single-process target's default suite once with no
     /// injections, recording coverage, and annotate the space with which
     /// call sites the baseline reaches — the signal `InjectionGuided`
     /// prunes on. (Cluster targets are left unannotated.)
     ///
-    /// `seed` should be the campaign's base seed: each workload is profiled
-    /// under a [`derive_seed`]-mixed per-workload seed and the coverage is
-    /// merged, so the baseline samples the same mixed-seed family campaign
-    /// units run under instead of a fixed out-of-band seed. This is a
-    /// heuristic, not a guarantee: units of a point run under per-unit
-    /// derived seeds, and profiling each of those would cost one baseline
-    /// run per unit, so a workload whose control flow is extremely
+    /// The baseline reuses the prepared session snapshots: each workload's
+    /// shared prefix (which already recorded coverage) is forked and run to
+    /// completion with no hooks, instead of re-running the whole workload
+    /// from scratch — and the sessions prepared here are the same ones a
+    /// subsequent snapshot-backend campaign forks its units from.
+    ///
+    /// `seed` should be the campaign's base seed: each workload's fork is
+    /// reseeded with a [`derive_seed`]-mixed per-workload seed and the
+    /// coverage is merged, so the baseline samples the same mixed-seed
+    /// family campaign units run under instead of a fixed out-of-band seed.
+    /// This is a heuristic, not a guarantee: units of a point run under
+    /// per-unit derived seeds, and profiling each of those would cost one
+    /// baseline run per unit, so a workload whose control flow is extremely
     /// seed-sensitive can still be annotated unreached on a site some unit
     /// seed would reach.
     pub fn annotate_baseline_reachability(&self, space: &mut FaultSpace, seed: u64) {
         for target in space.targets() {
             if target == "bft-lite" {
-                continue;
+                continue; // cluster target: left unannotated
             }
             let Some(exe) = self.target(&target) else {
                 continue;
             };
             let mut baseline = Coverage::new();
-            let no_faults = lfi_core::Scenario::new();
             for (workload, args) in default_test_suite(&target).into_iter().enumerate() {
-                let report = run_target(
-                    &target,
-                    exe,
-                    &no_faults,
-                    args,
-                    true,
-                    derive_seed(seed, workload as u64),
-                );
-                baseline.merge(&report.coverage);
+                let workload_seed = derive_seed(seed, workload as u64);
+                match self.prepared_session(&target, &args) {
+                    Some(prepared) => {
+                        let mut machine = prepared.snapshot.fork();
+                        machine.reseed(workload_seed);
+                        machine.run(&mut NoHooks, prepared.budget_left);
+                        baseline.merge(&prepared.prefix_coverage);
+                        baseline.merge(&machine.coverage);
+                    }
+                    // A pair that refuses to snapshot still contributes its
+                    // baseline coverage the pre-session way: one full
+                    // no-fault run.
+                    None => {
+                        let report = run_target(
+                            &target,
+                            exe,
+                            &lfi_core::Scenario::new(),
+                            args,
+                            true,
+                            workload_seed,
+                        );
+                        baseline.merge(&report.coverage);
+                    }
+                }
             }
             space.annotate_reached(&target, &baseline);
         }
@@ -195,6 +390,20 @@ impl StandardExecutor {
         }
     }
 
+    /// The call sites where `function` was actually failed, per the
+    /// injection log — the same accounting for fresh and forked runs.
+    fn injected_sites(&self, log: &InjectionLog, function: &str) -> Vec<InjectedSite> {
+        log.records
+            .iter()
+            .filter(|r| r.function == function)
+            .map(|r| InjectedSite {
+                module: r.call_site.0.clone(),
+                offset: r.call_site.1,
+                caller: self.resolve_caller(&r.call_site.0, r.call_site.1),
+            })
+            .collect()
+    }
+
     fn execute_single(&self, exe: &Module, unit: &WorkUnit) -> Execution {
         let report = run_target(
             &unit.point.target,
@@ -210,21 +419,10 @@ impl StandardExecutor {
             TestOutcome::Crashed(_) => OutcomeKind::Crashed,
             TestOutcome::Hung => OutcomeKind::Hung,
         };
-        let injected_sites = report
-            .injections
-            .records
-            .iter()
-            .filter(|r| r.function == unit.point.function)
-            .map(|r| InjectedSite {
-                module: r.call_site.0.clone(),
-                offset: r.call_site.1,
-                caller: self.resolve_caller(&r.call_site.0, r.call_site.1),
-            })
-            .collect();
         Execution {
             outcome,
             injections: report.injections.injection_count() as u64,
-            injected_sites,
+            injected_sites: self.injected_sites(&report.injections, &unit.point.function),
             crashes: report
                 .fault
                 .as_ref()
@@ -275,6 +473,40 @@ impl Executor for StandardExecutor {
         default_test_suite(target)
     }
 
+    fn prepare(&self, target: &str, args: &[String]) -> Option<Session> {
+        self.prepared_session(target, args).map(Session::new)
+    }
+
+    fn execute_from(&self, session: &Session, unit: &WorkUnit) -> Execution {
+        let prepared = session
+            .downcast_ref::<Arc<PreparedSession>>()
+            .expect("session prepared by StandardExecutor");
+        let mut machine = prepared.snapshot.fork();
+        machine.reseed(unit.seed);
+        machine.set_record_coverage(false);
+        // Mirror the fresh path's engine setup exactly: the stock registry
+        // and the trigger-evaluation cost both come from the same defaults
+        // `run_target`'s controller uses, so the two backends cannot drift
+        // apart if either default changes.
+        let mut engine =
+            InjectionEngine::new(unit.scenario.clone()).expect("unit scenario must compile");
+        engine.trigger_eval_cost = TestConfig::default().trigger_eval_cost;
+        let exit = machine.run(&mut engine, prepared.budget_left);
+        let (outcome, crashes) = match &exit {
+            RunExit::Exited(0) => (OutcomeKind::Passed, Vec::new()),
+            RunExit::Exited(code) => (OutcomeKind::CleanFailure(*code), Vec::new()),
+            RunExit::Fault(fault) => (OutcomeKind::Crashed, vec![self.crash_info(fault)]),
+            RunExit::Blocked | RunExit::Budget | RunExit::Paused => (OutcomeKind::Hung, Vec::new()),
+        };
+        Execution {
+            outcome,
+            injections: engine.log.injection_count() as u64,
+            injected_sites: self.injected_sites(&engine.log, &unit.point.function),
+            crashes,
+            virtual_time: machine.clock(),
+        }
+    }
+
     fn execute(&self, unit: &WorkUnit) -> Execution {
         if unit.point.target == "bft-lite" {
             return self.execute_cluster(unit);
@@ -288,6 +520,8 @@ impl Executor for StandardExecutor {
 
 #[cfg(test)]
 mod tests {
+    use lfi_targets::all_targets;
+
     use super::*;
 
     #[test]
@@ -298,5 +532,41 @@ mod tests {
                 "{name} needs a default suite"
             );
         }
+    }
+
+    #[test]
+    fn subset_executors_only_load_requested_targets() {
+        let executor = StandardExecutor::new(&["git-lite"]);
+        assert!(executor.target("git-lite").is_some());
+        assert!(executor.target("httpd-lite").is_none());
+        assert!(
+            executor.injectable.get().is_none(),
+            "the failing-function union is not computed until a session is prepared"
+        );
+        assert!(
+            !executor.injectable().is_empty(),
+            "session images need the profiled failing-function union"
+        );
+    }
+
+    #[test]
+    fn sessions_are_memoized_per_target_and_workload() {
+        let executor = StandardExecutor::new(&["git-lite", "bft-lite"]);
+        assert!(
+            executor.prepare("bft-lite", &[]).is_none(),
+            "cluster targets cannot snapshot"
+        );
+        let args = vec!["init".to_string()];
+        let first = executor.prepared_session("git-lite", &args).unwrap();
+        let second = executor.prepared_session("git-lite", &args).unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same pair, same session");
+        assert_eq!(executor.sessions_prepared(), 1);
+        // A different workload of the same target is its own session, but
+        // shares the loaded image.
+        executor
+            .prepared_session("git-lite", &["log".to_string()])
+            .unwrap();
+        assert_eq!(executor.sessions_prepared(), 2);
+        assert_eq!(executor.images.lock().unwrap().len(), 1);
     }
 }

@@ -1,0 +1,102 @@
+//! Differential tests: the snapshot-fork backend must be a pure
+//! performance optimization. For the same fault space, seed and strategy,
+//! it has to produce exactly the same [`lfi_campaign::RunRecord`]s —
+//! outcome, injected sites, crashes, virtual time — as fresh-VM execution,
+//! unit for unit.
+
+use lfi_campaign::{
+    Campaign, CampaignConfig, CampaignReport, CampaignState, ExecBackend, Exhaustive, FaultSpace,
+    StandardExecutor,
+};
+use lfi_targets::standard_controller;
+
+/// A Table 1 style space: the given targets restricted to the functions
+/// behind their known bugs, annotated like the real hunt.
+fn hunt_space(executor: &StandardExecutor, targets: &[&str], functions: &[&str]) -> FaultSpace {
+    let profile = standard_controller().profile_libraries();
+    let mut space = executor.fault_space(targets, &profile);
+    space.retain(|p| functions.contains(&p.function.as_str()));
+    executor.annotate_baseline_reachability(&mut space, 7);
+    space
+}
+
+fn run_with(
+    executor: &StandardExecutor,
+    space: &FaultSpace,
+    jobs: usize,
+    backend: ExecBackend,
+) -> (CampaignReport, usize) {
+    let campaign = Campaign::new(
+        space.clone(),
+        executor,
+        CampaignConfig {
+            jobs,
+            seed: 7,
+            backend,
+        },
+    );
+    let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+    (report, campaign.prepared_sessions())
+}
+
+fn assert_backends_agree(executor: &StandardExecutor, space: &FaultSpace, min_sessions: usize) {
+    assert!(!space.is_empty());
+    let (fresh, fresh_sessions) = run_with(executor, space, 2, ExecBackend::Fresh);
+    let (snapshot, snapshot_sessions) = run_with(executor, space, 2, ExecBackend::Snapshot);
+    assert_eq!(fresh_sessions, 0, "fresh backend must not prepare sessions");
+    assert!(
+        snapshot_sessions >= min_sessions,
+        "snapshot backend prepared only {snapshot_sessions} sessions, expected >= {min_sessions}"
+    );
+    assert_eq!(fresh.executed_now, fresh.units_total, "all units ran");
+    // Byte-for-byte identical records: same outcomes, same injection
+    // counts, same injected call sites, same crash signatures and
+    // backtraces, same virtual time.
+    assert_eq!(fresh.records, snapshot.records);
+    assert_eq!(fresh.triage.buckets, snapshot.triage.buckets);
+}
+
+#[test]
+fn snapshot_forks_match_fresh_vms_on_git_lite() {
+    let executor = StandardExecutor::new(&["git-lite"]);
+    // The functions behind the Table 1 git bugs (opendir: readdir-null
+    // crash; setenv: the silent commit data loss; readlink: checked site).
+    let space = hunt_space(&executor, &["git-lite"], &["opendir", "setenv", "readlink"]);
+    // 7 workloads in the git-lite suite, each with at least one unit.
+    assert_backends_agree(&executor, &space, 7);
+}
+
+#[test]
+fn snapshot_forks_match_fresh_vms_on_db_lite() {
+    let executor = StandardExecutor::new(&["db-lite"]);
+    // The MySQL-analogue bugs: double unlock, unchecked close, read errors.
+    let space = hunt_space(
+        &executor,
+        &["db-lite"],
+        &["pthread_mutex_unlock", "close", "read"],
+    );
+    assert_backends_agree(&executor, &space, 4);
+}
+
+#[test]
+fn snapshot_forks_match_fresh_vms_on_the_networked_target() {
+    let executor = StandardExecutor::new(&["bind-lite"]);
+    // bind-lite runs behind its queued client workload: the snapshot must
+    // capture the simulated network (pending queries) faithfully.
+    let space = hunt_space(&executor, &["bind-lite"], &["malloc", "recvfrom", "open"]);
+    assert_backends_agree(&executor, &space, 1);
+}
+
+#[test]
+fn cluster_targets_fall_back_to_fresh_execution() {
+    let executor = StandardExecutor::new(&["bft-lite"]);
+    let profile = standard_controller().profile_libraries();
+    let mut space = executor.fault_space(&["bft-lite"], &profile);
+    space.retain(|p| matches!(p.function.as_str(), "fopen" | "fwrite"));
+    assert!(!space.is_empty());
+
+    let (fresh, _) = run_with(&executor, &space, 2, ExecBackend::Fresh);
+    let (snapshot, sessions) = run_with(&executor, &space, 2, ExecBackend::Snapshot);
+    assert_eq!(sessions, 0, "bft-lite cannot snapshot");
+    assert_eq!(fresh.records, snapshot.records);
+}

@@ -16,10 +16,18 @@ fn git_space(executor: &StandardExecutor) -> lfi_campaign::FaultSpace {
 
 #[test]
 fn campaign_finds_the_git_readdir_bug_and_triages_it() {
-    let executor = StandardExecutor::new();
+    let executor = StandardExecutor::new(&["git-lite"]);
     let space = git_space(&executor);
     assert!(!space.is_empty());
-    let campaign = Campaign::new(space, &executor, CampaignConfig { jobs: 2, seed: 7 });
+    let campaign = Campaign::new(
+        space,
+        &executor,
+        CampaignConfig {
+            jobs: 2,
+            seed: 7,
+            ..CampaignConfig::default()
+        },
+    );
     let mut state = CampaignState::default();
     let report = campaign.run(&Exhaustive, &mut state);
 
@@ -46,7 +54,7 @@ fn campaign_finds_the_git_readdir_bug_and_triages_it() {
 
 #[test]
 fn guided_explores_fewer_units_without_losing_the_crash() {
-    let executor = StandardExecutor::new();
+    let executor = StandardExecutor::new(&["db-lite"]);
 
     // db-lite: the close/pthread_mutex_unlock fault points include call
     // sites the default suite never reaches — exactly what InjectionGuided
@@ -66,12 +74,23 @@ fn guided_explores_fewer_units_without_losing_the_crash() {
     let exhaustive_campaign = Campaign::new(
         exhaustive_space,
         &executor,
-        CampaignConfig { jobs: 2, seed: 7 },
+        CampaignConfig {
+            jobs: 2,
+            seed: 7,
+            ..CampaignConfig::default()
+        },
     );
     let exhaustive = exhaustive_campaign.run(&Exhaustive, &mut CampaignState::default());
 
-    let guided_campaign =
-        Campaign::new(guided_space, &executor, CampaignConfig { jobs: 2, seed: 7 });
+    let guided_campaign = Campaign::new(
+        guided_space,
+        &executor,
+        CampaignConfig {
+            jobs: 2,
+            seed: 7,
+            ..CampaignConfig::default()
+        },
+    );
     let guided = guided_campaign.run(&InjectionGuided, &mut CampaignState::default());
 
     assert!(

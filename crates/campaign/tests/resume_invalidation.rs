@@ -152,7 +152,11 @@ fn seed_and_fingerprint_changes_invalidate_the_checkpoint() {
     let campaign = Campaign::new(
         demo_space(3),
         &executor,
-        CampaignConfig { jobs: 1, seed: 8 },
+        CampaignConfig {
+            jobs: 1,
+            seed: 8,
+            ..CampaignConfig::default()
+        },
     );
     let report = campaign.run(&Exhaustive, &mut state);
     assert_eq!(report.executed_now, 6, "seed change starts fresh");
@@ -161,7 +165,11 @@ fn seed_and_fingerprint_changes_invalidate_the_checkpoint() {
     let campaign = Campaign::new(
         demo_space(3),
         &executor,
-        CampaignConfig { jobs: 1, seed: 8 },
+        CampaignConfig {
+            jobs: 1,
+            seed: 8,
+            ..CampaignConfig::default()
+        },
     );
     let sample = RandomSample { count: 3, seed: 8 };
     let report = campaign.run(&sample, &mut state);
@@ -191,7 +199,11 @@ fn a_fully_resumed_campaign_spawns_no_workers_and_executes_nothing() {
     let campaign = Campaign::new(
         demo_space(3),
         &UnreachableExecutor,
-        CampaignConfig { jobs: 4, seed: 7 },
+        CampaignConfig {
+            jobs: 4,
+            seed: 7,
+            ..CampaignConfig::default()
+        },
     );
     let mut resumed = state;
     let report = campaign.run(&Exhaustive, &mut resumed);

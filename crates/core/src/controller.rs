@@ -7,17 +7,18 @@
 //! the artifact developers use to diagnose and fix the exposed bugs (§2).
 
 use std::fmt;
+use std::sync::Arc;
 
 use lfi_analyzer::{analyze_program, AnalysisConfig, CallSiteReport};
 use lfi_obj::Module;
 use lfi_profiler::{profile_library, FaultProfile};
 use lfi_vm::{
-    Coverage, ExecStats, Fault, HookHandler, LoadError, Loader, Machine, NetHandle, ProcessConfig,
-    RunExit,
+    Coverage, ExecStats, Fault, HookHandler, Image, LoadError, Loader, Machine, NetHandle,
+    ProcessConfig, RunExit,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::runtime::{InjectionEngine, InjectionLog};
+use crate::runtime::{InjectionEngine, InjectionLog, PauseAtFirstCall};
 use crate::scenario::Scenario;
 use crate::triggers::{TriggerBuildError, TriggerRegistry};
 
@@ -147,6 +148,22 @@ pub struct RunToCompletion;
 
 impl Workload for RunToCompletion {}
 
+/// The result of [`Controller::prepare_session`]: a workload paused at its
+/// first injectable library call (or run to its terminal state when it
+/// never makes one). Snapshot `machine` to fork per-scenario runs from it.
+#[derive(Debug)]
+pub struct SessionPrep {
+    /// The machine, paused before its first injectable call — or finished.
+    pub machine: Machine,
+    /// The function whose first call paused the run, if the run paused.
+    pub paused_at: Option<String>,
+    /// How the prefix stopped ([`RunExit::Paused`] in the common case).
+    pub prefix_exit: RunExit,
+    /// Instructions consumed by the shared prefix (forks subtract this from
+    /// the per-run budget so budget exhaustion behaves like a fresh run).
+    pub instructions_used: u64,
+}
+
 /// Controller errors.
 #[derive(Debug)]
 pub enum ControllerError {
@@ -236,24 +253,25 @@ impl Controller {
         Scenario::from_reports(&reports, &self.profile_libraries(), include_partial)
     }
 
-    /// Build the machine for a scenario without running it (used by custom
-    /// drivers such as the multi-replica PBFT harness).
-    pub fn prepare(
+    /// Load `exe` against the registered libraries with the given function
+    /// names interposed, independent of any scenario. The returned image is
+    /// immutable and shareable: session executors cache it per target so the
+    /// loader's layout and predecoding work is paid once, not once per run.
+    pub fn build_image(
         &self,
         exe: &Module,
-        scenario: &Scenario,
-        config: &TestConfig,
-    ) -> Result<(Machine, InjectionEngine), ControllerError> {
-        let mut engine = InjectionEngine::with_registry(scenario.clone(), self.registry.clone())?;
-        engine.trigger_eval_cost = config.trigger_eval_cost;
-        engine.observe_only = config.observe_only;
+        interpose: &[String],
+    ) -> Result<Arc<Image>, ControllerError> {
         let mut loader = Loader::new();
         for library in &self.libraries {
             loader.add_library(library.clone());
         }
-        loader.interpose_all(engine.interposed_functions());
-        let image = loader.load(exe.clone())?;
-        let mut machine = Machine::new(
+        loader.interpose_all(interpose.iter().cloned());
+        Ok(Arc::new(loader.load(exe.clone())?))
+    }
+
+    fn machine_from_image(&self, image: Arc<Image>, config: &TestConfig) -> Machine {
+        let mut machine = Machine::from_image(
             image,
             ProcessConfig {
                 node_id: config.node_id,
@@ -268,7 +286,54 @@ impl Controller {
         if let Some(net) = &self.net {
             machine.attach_net(net.clone());
         }
-        Ok((machine, engine))
+        machine
+    }
+
+    /// Build the machine for a scenario without running it (used by custom
+    /// drivers such as the multi-replica PBFT harness).
+    pub fn prepare(
+        &self,
+        exe: &Module,
+        scenario: &Scenario,
+        config: &TestConfig,
+    ) -> Result<(Machine, InjectionEngine), ControllerError> {
+        let mut engine = InjectionEngine::with_registry(scenario.clone(), self.registry.clone())?;
+        engine.trigger_eval_cost = config.trigger_eval_cost;
+        engine.observe_only = config.observe_only;
+        let image = self.build_image(exe, &engine.interposed_functions())?;
+        Ok((self.machine_from_image(image, config), engine))
+    }
+
+    /// Run a workload up to its first call to any of `functions` and return
+    /// the paused machine — the shared prefix of a session.
+    ///
+    /// The image must interpose (at least) `functions`; the workload's
+    /// `setup` runs, then the program executes under a
+    /// [`PauseAtFirstCall`] handler that forwards every interception until
+    /// one of the pause functions is called. The machine stops with the
+    /// program counter still on that call, so a snapshot taken from the
+    /// result can be resumed under any [`InjectionEngine`], which then sees
+    /// the very same call as its first interception. When the workload
+    /// never calls a pause function, the machine simply runs to its
+    /// terminal state (and forks of it return that state immediately).
+    pub fn prepare_session(
+        &self,
+        image: Arc<Image>,
+        functions: &[String],
+        workload: &mut dyn Workload,
+        config: &TestConfig,
+    ) -> SessionPrep {
+        let mut machine = self.machine_from_image(image, config);
+        workload.setup(&mut machine);
+        let mut pause = PauseAtFirstCall::new(functions.iter().cloned());
+        let exit = workload.drive(&mut machine, &mut pause, config.max_instructions);
+        let instructions_used = machine.stats.instructions;
+        SessionPrep {
+            machine,
+            paused_at: pause.paused_at,
+            prefix_exit: exit,
+            instructions_used,
+        }
     }
 
     /// Run one test: load the program with the scenario's interpositions,
@@ -287,7 +352,10 @@ impl Controller {
             RunExit::Exited(0) => (TestOutcome::Passed, None),
             RunExit::Exited(code) => (TestOutcome::CleanFailure(*code), None),
             RunExit::Fault(fault) => (TestOutcome::Crashed(fault.to_string()), Some(fault.clone())),
-            RunExit::Blocked | RunExit::Budget => (TestOutcome::Hung, None),
+            // `Paused` can only come from a pause handler; scenario engines
+            // never pause, but a custom workload could — report it as a hang
+            // rather than a pass.
+            RunExit::Blocked | RunExit::Budget | RunExit::Paused => (TestOutcome::Hung, None),
         };
         Ok(TestReport {
             exit,
@@ -346,8 +414,7 @@ mod tests {
         let exe = Module::new("app", lfi_obj::ModuleKind::Executable);
         let err = controller
             .prepare(&exe, &scenario, &TestConfig::default())
-            .err()
-            .expect("must fail");
+            .expect_err("must fail");
         assert!(matches!(err, ControllerError::Trigger(_)));
     }
 }

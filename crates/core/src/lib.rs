@@ -32,9 +32,10 @@ pub mod triggers;
 pub mod xml;
 
 pub use controller::{
-    Controller, ControllerError, RunToCompletion, TestConfig, TestOutcome, TestReport, Workload,
+    Controller, ControllerError, RunToCompletion, SessionPrep, TestConfig, TestOutcome, TestReport,
+    Workload,
 };
-pub use runtime::{InjectionEngine, InjectionLog, InjectionRecord};
+pub use runtime::{InjectionEngine, InjectionLog, InjectionRecord, PauseAtFirstCall};
 pub use scenario::{FrameSpec, FunctionAssoc, Scenario, ScenarioError, TriggerDecl};
 pub use triggers::{
     ArgTrigger, CallCountTrigger, CallStackTrigger, CallerFunctionTrigger, DistributedController,

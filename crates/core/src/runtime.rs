@@ -328,6 +328,49 @@ impl HookHandler for InjectionEngine {
     }
 }
 
+/// A handler that forwards every intercepted call until the first call to
+/// one of a given set of functions, where it pauses the machine instead.
+///
+/// The pause happens *before* the call executes ([`HookAction::Pause`]
+/// leaves the program counter on the call instruction), so a
+/// [`lfi_vm::MachineSnapshot`] taken at the pause point can be resumed
+/// under a different handler — typically an [`InjectionEngine`] — which
+/// then observes that same call as its first interception. This is the
+/// runtime half of session-based execution: the workload prefix up to the
+/// first injectable library call runs once, and every injection scenario
+/// forks from there.
+#[derive(Debug, Clone, Default)]
+pub struct PauseAtFirstCall {
+    pause_on: std::collections::BTreeSet<String>,
+    /// The function whose call triggered the pause, once paused.
+    pub paused_at: Option<String>,
+}
+
+impl PauseAtFirstCall {
+    /// Pause at the first call to any of `functions`.
+    pub fn new<I, S>(functions: I) -> PauseAtFirstCall
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PauseAtFirstCall {
+            pause_on: functions.into_iter().map(Into::into).collect(),
+            paused_at: None,
+        }
+    }
+}
+
+impl HookHandler for PauseAtFirstCall {
+    fn on_call(&mut self, func: &str, _ctx: &mut CallContext<'_>) -> HookAction {
+        if self.pause_on.contains(func) {
+            self.paused_at = Some(func.to_string());
+            HookAction::Pause
+        } else {
+            HookAction::Forward
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::scenario::{FunctionAssoc, TriggerDecl};

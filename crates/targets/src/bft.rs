@@ -153,7 +153,9 @@ pub fn run_bft_cluster(config: &BftClusterConfig) -> BftRunResult {
             let exit = machine.run(engine, config.slice);
             spent += machine.stats.instructions - before;
             match &exit {
-                RunExit::Budget | RunExit::Blocked => {}
+                // `Paused` cannot occur here (injection engines never
+                // pause), but treat it like an idle slice if it ever does.
+                RunExit::Budget | RunExit::Blocked | RunExit::Paused => {}
                 RunExit::Fault(fault) => crashes.push((*node_id, fault.clone())),
                 RunExit::Exited(_) => {
                     if *node_id == CLIENT_NODE {

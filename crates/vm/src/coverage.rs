@@ -68,6 +68,27 @@ impl Coverage {
         }
     }
 
+    /// A stable FNV-1a digest of the full coverage record (module names and
+    /// executed offsets, in order). Used to assert snapshot/restore
+    /// round-trips are byte-identical.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for byte in bytes {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (module, offsets) in &self.executed {
+            mix(module.as_bytes());
+            for offset in offsets {
+                mix(&offset.to_le_bytes());
+            }
+            mix(&[0xff]);
+        }
+        hash
+    }
+
     /// Translate offset coverage into line coverage for a module, given its
     /// line table. Returns the set of `(file, line)` pairs executed.
     pub fn covered_lines(&self, module: &lfi_obj::Module) -> BTreeSet<(String, u32)> {

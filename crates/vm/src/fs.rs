@@ -296,6 +296,39 @@ impl SimFs {
     pub fn paths(&self) -> Vec<String> {
         self.nodes.keys().cloned().collect()
     }
+
+    /// A stable FNV-1a digest of the whole filesystem: every path, node
+    /// kind, contents, and the I/O-error path list, in path order. Used to
+    /// assert snapshot/restore round-trips are byte-identical.
+    pub fn digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for byte in bytes {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for (path, node) in &self.nodes {
+            mix(path.as_bytes());
+            match node {
+                Node::File(data) => {
+                    mix(&[1]);
+                    mix(data);
+                }
+                Node::Dir => mix(&[2]),
+                Node::Symlink(target) => {
+                    mix(&[3]);
+                    mix(target.as_bytes());
+                }
+            }
+            mix(&[0xff]);
+        }
+        for path in &self.io_error_paths {
+            mix(path.as_bytes());
+            mix(&[0xfe]);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]

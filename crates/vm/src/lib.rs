@@ -24,8 +24,8 @@ pub use coverage::Coverage;
 pub use fs::{FsError, SimFs};
 pub use loader::{Image, LoadError, LoadedModule, Loader, Resolution};
 pub use machine::{
-    CallContext, ExecStats, Fault, FaultKind, Frame, HookAction, HookHandler, Machine, NoHooks,
-    ProcessConfig, RunExit,
+    CallContext, ExecStats, Fault, FaultKind, Frame, HookAction, HookHandler, Machine,
+    MachineSnapshot, NoHooks, ProcessConfig, RunExit,
 };
 pub use mem::{MemError, Memory, PAGE_SIZE};
 pub use net::{Datagram, NetHandle, SimNet};

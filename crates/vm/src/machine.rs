@@ -4,6 +4,7 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use lfi_arch::{Addr, AluOp, CallConv, Insn, Reg, Word, INSN_SIZE};
 use rand::rngs::StdRng;
@@ -166,6 +167,11 @@ pub enum RunExit {
     Blocked,
     /// The instruction budget given to `run` was exhausted.
     Budget,
+    /// A hook returned [`HookAction::Pause`]: the machine stopped with the
+    /// program counter still on the intercepted call, so a snapshot taken
+    /// here can be resumed under a different handler that then observes the
+    /// very same call.
+    Paused,
 }
 
 impl RunExit {
@@ -206,6 +212,13 @@ pub enum HookAction {
         /// Value stored into the thread-local `errno`, if any.
         errno: Option<Word>,
     },
+    /// Stop the machine *before* the intercepted call executes, rolling back
+    /// this instruction's bookkeeping and leaving the program counter on the
+    /// call. `run` returns [`RunExit::Paused`]; resuming (or restoring a
+    /// snapshot taken at the pause) re-executes the call under whatever
+    /// handler drives the next `run`. This is how session executors share a
+    /// workload prefix across many injection scenarios.
+    Pause,
 }
 
 /// Receiver of interposed calls. The LFI runtime implements this to evaluate
@@ -302,7 +315,7 @@ pub(crate) enum SysOutcome {
 
 /// A running process.
 pub struct Machine {
-    pub(crate) image: Image,
+    pub(crate) image: Arc<Image>,
     pub(crate) mem: Memory,
     pub(crate) fs: SimFs,
     pub(crate) net: Option<NetHandle>,
@@ -331,6 +344,14 @@ pub struct Machine {
 impl Machine {
     /// Create a process from a loaded image.
     pub fn new(image: Image, config: ProcessConfig) -> Machine {
+        Machine::from_image(Arc::new(image), config)
+    }
+
+    /// Create a process from a shared loaded image. The image is immutable
+    /// at run time, so many machines (and snapshots) can share one loaded
+    /// copy — the loader's validation, layout and instruction predecoding
+    /// are paid once per image instead of once per run.
+    pub fn from_image(image: Arc<Image>, config: ProcessConfig) -> Machine {
         let mut mem = Memory::new();
         // Map every module's data + BSS region and copy the initialized data.
         for lm in &image.modules {
@@ -550,6 +571,187 @@ impl Machine {
     /// Whether the process has already terminated (exited or crashed).
     pub fn finished(&self) -> Option<&RunExit> {
         self.finished.as_ref()
+    }
+
+    /// Reseed the process-deterministic random stream. Session executors
+    /// call this on a forked machine so each fork draws from its own unit
+    /// seed; it matches fresh-VM behavior exactly when the shared prefix
+    /// consumed no randomness — check [`Machine::rng_is_pristine`] before
+    /// snapshotting a prefix.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Whether the process has consumed any randomness yet, i.e. its RNG
+    /// stream is still at the position seeded at creation. Session
+    /// executors refuse to snapshot a prefix that drew randomness: a fork
+    /// reseeds with its own unit seed, which reproduces fresh-VM behavior
+    /// only from an untouched stream. (Only meaningful on a machine that
+    /// has not been [`Machine::reseed`]ed, which replaces the stream
+    /// without updating the creation seed.)
+    pub fn rng_is_pristine(&self) -> bool {
+        self.rng == StdRng::seed_from_u64(self.config.seed)
+    }
+
+    /// Enable or disable instruction-coverage recording from here on.
+    /// Already-recorded coverage is kept. Sessions record coverage during
+    /// the shared prefix (so baseline-reachability forks can keep
+    /// accumulating) and turn it off in injection forks, which never read it.
+    pub fn set_record_coverage(&mut self, record: bool) {
+        self.record_coverage = record;
+    }
+
+    /// Remove and return the coverage recorded so far, leaving an empty
+    /// record. Session executors strip the prefix coverage out of the
+    /// machine before snapshotting it, so the (potentially large) offset
+    /// sets are kept once per session instead of being cloned into every
+    /// fork.
+    pub fn take_coverage(&mut self) -> Coverage {
+        std::mem::take(&mut self.coverage)
+    }
+
+    /// Deep-copy the machine. Memory is copy-on-write (cheap), the image is
+    /// shared, and an attached network is captured by value — the copy gets
+    /// its own independent network containing the current queues.
+    fn duplicate(&self) -> Machine {
+        Machine {
+            image: Arc::clone(&self.image),
+            mem: self.mem.clone(),
+            fs: self.fs.clone(),
+            net: self.net.as_ref().map(NetHandle::fork),
+            threads: self.threads.clone(),
+            current: self.current,
+            next_thread_id: self.next_thread_id,
+            mutexes: self.mutexes.clone(),
+            fds: self.fds.clone(),
+            env: self.env.clone(),
+            heap_brk: self.heap_brk,
+            heap_limit: self.heap_limit,
+            clock: self.clock,
+            stats: self.stats,
+            coverage: self.coverage.clone(),
+            record_coverage: self.record_coverage,
+            rng: self.rng.clone(),
+            node_id: self.node_id,
+            output: self.output.clone(),
+            config: self.config.clone(),
+            finished: self.finished.clone(),
+        }
+    }
+
+    /// Capture the complete machine state — memory, registers and threads,
+    /// filesystem, network, file descriptors, coverage, RNG, clock, output —
+    /// as a restorable value. The loaded image is shared, memory pages are
+    /// copy-on-write, and an attached network is deep-copied, so snapshots
+    /// are cheap and forks are fully isolated from the live machine.
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            machine: self.duplicate(),
+        }
+    }
+
+    /// Restore this machine to a previously captured snapshot, discarding
+    /// all state accumulated since (including network traffic: the restored
+    /// machine is attached to a fresh copy of the snapshot's network, not to
+    /// whatever handle it had before).
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        *self = snapshot.machine.duplicate();
+    }
+
+    /// A stable digest of the architectural machine state: every thread's
+    /// registers, program counter, TLS, shadow stack and run state, plus
+    /// memory, filesystem, coverage, file descriptors, environment, heap,
+    /// clock, statistics and output. Two machines with equal fingerprints
+    /// are byte-identical as far as the program can observe (the RNG stream
+    /// position is restored by snapshots but is not part of the digest).
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for byte in bytes {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for thread in &self.threads {
+            mix(&thread.id.to_le_bytes());
+            mix(&thread.pc.to_le_bytes());
+            for reg in &thread.regs {
+                mix(&reg.to_le_bytes());
+            }
+            mix(&[match thread.flags {
+                Ordering::Less => 0,
+                Ordering::Equal => 1,
+                Ordering::Greater => 2,
+            }]);
+            let mut tls: Vec<(&String, &Word)> = thread.tls.iter().collect();
+            tls.sort();
+            for (name, value) in tls {
+                mix(name.as_bytes());
+                mix(&value.to_le_bytes());
+            }
+            for frame in &thread.frames {
+                mix(&(frame.call_site_module as u64).to_le_bytes());
+                mix(&frame.call_site_offset.to_le_bytes());
+                mix(&frame.return_addr.to_le_bytes());
+            }
+            mix(&[match thread.state {
+                ThreadState::Runnable => 1,
+                ThreadState::BlockedOnMutex(_) => 2,
+                ThreadState::Exited => 3,
+            }]);
+            mix(&[0xff]);
+        }
+        mix(&(self.current as u64).to_le_bytes());
+        mix(&self.next_thread_id.to_le_bytes());
+        mix(&self.mem.digest().to_le_bytes());
+        mix(&self.fs.digest().to_le_bytes());
+        mix(&self.coverage.digest().to_le_bytes());
+        let mut mutexes: Vec<(&i64, Option<i64>)> =
+            self.mutexes.iter().map(|(id, m)| (id, m.owner)).collect();
+        mutexes.sort();
+        for (id, owner) in mutexes {
+            mix(&id.to_le_bytes());
+            mix(&owner.unwrap_or(i64::MIN).to_le_bytes());
+        }
+        for fd in &self.fds {
+            match fd {
+                None => mix(&[0]),
+                Some(FdEntry::Stdout) => mix(&[1]),
+                Some(FdEntry::Stderr) => mix(&[2]),
+                Some(FdEntry::File { path, pos, flags }) => {
+                    mix(&[3]);
+                    mix(path.as_bytes());
+                    mix(&pos.to_le_bytes());
+                    mix(&flags.to_le_bytes());
+                }
+                Some(FdEntry::Socket { port, flags }) => {
+                    mix(&[4]);
+                    mix(&port.unwrap_or(i64::MIN).to_le_bytes());
+                    mix(&flags.to_le_bytes());
+                }
+                Some(FdEntry::Dir { entries, pos }) => {
+                    mix(&[5]);
+                    for entry in entries {
+                        mix(entry.as_bytes());
+                    }
+                    mix(&(*pos as u64).to_le_bytes());
+                }
+            }
+        }
+        let mut env: Vec<(&String, &String)> = self.env.iter().collect();
+        env.sort();
+        for (name, value) in env {
+            mix(name.as_bytes());
+            mix(value.as_bytes());
+        }
+        mix(&self.heap_brk.to_le_bytes());
+        mix(&self.clock.to_le_bytes());
+        mix(&self.stats.instructions.to_le_bytes());
+        mix(&self.stats.syscalls.to_le_bytes());
+        mix(&self.stats.calls.to_le_bytes());
+        mix(&self.stats.hooked_calls.to_le_bytes());
+        mix(&self.output);
+        hash
     }
 
     fn fault(&self, kind: FaultKind) -> RunExit {
@@ -884,6 +1086,18 @@ impl Machine {
                                     thread!().tls.insert(CallConv::ERRNO_SYMBOL.to_string(), e);
                                 }
                             }
+                            HookAction::Pause => {
+                                // Roll back this instruction's bookkeeping and
+                                // leave the PC on the call: a machine resumed
+                                // (or restored from a snapshot taken here)
+                                // re-executes the call as if it had never run,
+                                // so the next handler observes it first-hand.
+                                self.stats.instructions -= 1;
+                                self.stats.calls -= 1;
+                                self.stats.hooked_calls -= 1;
+                                self.clock -= 1;
+                                return Some(RunExit::Paused);
+                            }
                         }
                     }
                     Resolution::Unresolved { name } => {
@@ -958,6 +1172,66 @@ impl Machine {
 
     pub(crate) fn make_fault(&self, kind: FaultKind) -> RunExit {
         self.fault(kind)
+    }
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("threads", &self.threads.len())
+            .field("clock", &self.clock)
+            .field("instructions", &self.stats.instructions)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+/// A restorable capture of a [`Machine`]'s complete state, taken with
+/// [`Machine::snapshot`].
+///
+/// A snapshot owns an independent copy of all mutable process state
+/// (memory pages are shared copy-on-write with whoever else holds them; the
+/// loaded image is shared outright). [`MachineSnapshot::fork`] mints any
+/// number of isolated machines from one snapshot — the mechanism behind
+/// snapshot-fork campaign execution, where the workload prefix up to the
+/// first injectable call is executed once and every fault-injection run
+/// resumes from it.
+pub struct MachineSnapshot {
+    machine: Machine,
+}
+
+impl MachineSnapshot {
+    /// Create a new, fully isolated machine resuming from this snapshot.
+    pub fn fork(&self) -> Machine {
+        self.machine.duplicate()
+    }
+
+    /// Execution statistics at the snapshot point (e.g. instructions already
+    /// consumed by the shared prefix, for budget accounting in forks).
+    pub fn stats(&self) -> ExecStats {
+        self.machine.stats
+    }
+
+    /// Virtual time at the snapshot point.
+    pub fn clock(&self) -> u64 {
+        self.machine.clock
+    }
+
+    /// Whether the captured process had already terminated — i.e. the run
+    /// never reached a pause point. Forks of a finished snapshot return the
+    /// terminal exit immediately.
+    pub fn is_finished(&self) -> bool {
+        self.machine.finished.is_some()
+    }
+}
+
+impl fmt::Debug for MachineSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MachineSnapshot")
+            .field("clock", &self.machine.clock)
+            .field("instructions", &self.machine.stats.instructions)
+            .field("finished", &self.machine.finished)
+            .finish()
     }
 }
 

@@ -5,14 +5,24 @@
 //! fault exactly like a SIGSEGV would in the paper's experiments (several of
 //! the Table 1 bugs manifest as dereferences of NULL returned by a failed
 //! `malloc`/`opendir`/`fopen`).
+//!
+//! Pages are reference-counted and copied on write: cloning a [`Memory`]
+//! shares every page with the original, and a write to either side copies
+//! only the touched page. This is what makes [`crate::MachineSnapshot`]
+//! forks cheap — a campaign can restore hundreds of VMs from one snapshot
+//! and pay only for the pages each run actually dirties.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use lfi_arch::{Addr, Word};
 
 /// Size of a memory page in bytes.
 pub const PAGE_SIZE: u64 = 4096;
+
+/// One page of memory.
+type Page = [u8; PAGE_SIZE as usize];
 
 /// Memory access errors, surfaced to the machine as faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,10 +47,10 @@ impl fmt::Display for MemError {
 
 impl std::error::Error for MemError {}
 
-/// Sparse byte-addressable memory.
+/// Sparse byte-addressable memory with copy-on-write pages.
 #[derive(Debug, Default, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u64, Arc<Page>>,
     mapped_bytes: u64,
 }
 
@@ -61,7 +71,7 @@ impl Memory {
         for page in first..=last {
             self.pages.entry(page).or_insert_with(|| {
                 self.mapped_bytes += PAGE_SIZE;
-                Box::new([0u8; PAGE_SIZE as usize])
+                Arc::new([0u8; PAGE_SIZE as usize])
             });
         }
     }
@@ -76,17 +86,51 @@ impl Memory {
         self.mapped_bytes
     }
 
-    fn page(&self, addr: Addr) -> Result<&[u8; PAGE_SIZE as usize], MemError> {
+    /// Number of pages physically shared with `other` (same backing
+    /// allocation, i.e. untouched since the clone that separated them).
+    pub fn pages_shared_with(&self, other: &Memory) -> usize {
+        self.pages
+            .iter()
+            .filter(|(index, page)| {
+                other
+                    .pages
+                    .get(index)
+                    .is_some_and(|theirs| Arc::ptr_eq(page, theirs))
+            })
+            .count()
+    }
+
+    /// A stable FNV-1a digest of the full memory contents (mapped page
+    /// indices and bytes, in page order). Used to assert snapshot/restore
+    /// round-trips are byte-identical.
+    pub fn digest(&self) -> u64 {
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for byte in bytes {
+                hash ^= u64::from(*byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for index in indices {
+            mix(&index.to_le_bytes());
+            mix(self.pages[&index].as_ref());
+        }
+        hash
+    }
+
+    fn page(&self, addr: Addr) -> Result<&Page, MemError> {
         self.pages
             .get(&(addr / PAGE_SIZE))
             .map(|b| b.as_ref())
             .ok_or(MemError::Unmapped { addr })
     }
 
-    fn page_mut(&mut self, addr: Addr) -> Result<&mut [u8; PAGE_SIZE as usize], MemError> {
+    fn page_mut(&mut self, addr: Addr) -> Result<&mut Page, MemError> {
         self.pages
             .get_mut(&(addr / PAGE_SIZE))
-            .map(|b| b.as_mut())
+            .map(Arc::make_mut)
             .ok_or(MemError::Unmapped { addr })
     }
 
@@ -226,6 +270,28 @@ mod tests {
         mem.write_word(0x30_000, 9).unwrap();
         mem.map_region(0x30_000, PAGE_SIZE);
         assert_eq!(mem.read_word(0x30_000).unwrap(), 9);
+    }
+
+    #[test]
+    fn clones_share_pages_until_written() {
+        let mut mem = Memory::new();
+        mem.map_region(0x40_000, PAGE_SIZE * 3);
+        mem.write_word(0x40_000, 1).unwrap();
+        let mut fork = mem.clone();
+        assert_eq!(fork.pages_shared_with(&mem), 3, "clone is COW, not a copy");
+        assert_eq!(fork.digest(), mem.digest());
+
+        // Writing through the fork copies only the touched page.
+        fork.write_word(0x40_000, 2).unwrap();
+        assert_eq!(fork.pages_shared_with(&mem), 2);
+        assert_eq!(mem.read_word(0x40_000).unwrap(), 1, "original unchanged");
+        assert_eq!(fork.read_word(0x40_000).unwrap(), 2);
+        assert_ne!(fork.digest(), mem.digest());
+
+        // Writing the original value back restores byte identity (digests
+        // compare contents, not sharing).
+        fork.write_word(0x40_000, 1).unwrap();
+        assert_eq!(fork.digest(), mem.digest());
     }
 
     #[test]

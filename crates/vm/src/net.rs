@@ -44,7 +44,11 @@ pub struct NetStats {
 }
 
 /// The shared datagram network.
-#[derive(Debug)]
+///
+/// `SimNet` is `Clone` so machine snapshots can capture the network state
+/// by value: a clone is a fully independent network with the same bound
+/// endpoints, queued datagrams, RNG state and statistics.
+#[derive(Debug, Clone)]
 pub struct SimNet {
     queues: HashMap<(i64, i64), VecDeque<Datagram>>,
     drop_probability: f64,
@@ -154,6 +158,15 @@ impl NetHandle {
     pub fn pending(&self, node: i64, port: i64) -> usize {
         self.with(|net| net.pending(node, port))
     }
+
+    /// Deep-copy the network into a new, independent handle. Unlike
+    /// [`Clone`], which shares the underlying network, the forked handle has
+    /// its own copy of every queue — sends and receives on one side are
+    /// invisible to the other. Machine snapshots use this to capture the
+    /// network state at the snapshot point.
+    pub fn fork(&self) -> NetHandle {
+        NetHandle::new(self.with(|net| net.clone()))
+    }
 }
 
 impl Default for NetHandle {
@@ -230,5 +243,21 @@ mod tests {
         let clone = handle.clone();
         clone.send(dgram(1, 5, 10, b"shared"));
         assert_eq!(handle.recv(5, 10).unwrap().payload, b"shared");
+    }
+
+    #[test]
+    fn fork_captures_queues_independently() {
+        let handle = NetHandle::new(SimNet::new(9));
+        handle.bind(5, 10);
+        handle.send(dgram(1, 5, 10, b"before"));
+
+        let fork = handle.fork();
+        // The fork sees the pre-fork datagram, but later traffic on either
+        // side stays on that side.
+        handle.send(dgram(1, 5, 10, b"after"));
+        assert_eq!(fork.pending(5, 10), 1);
+        assert_eq!(fork.recv(5, 10).unwrap().payload, b"before");
+        assert!(fork.recv(5, 10).is_none());
+        assert_eq!(handle.pending(5, 10), 2);
     }
 }

@@ -630,3 +630,100 @@ fn call_count_grows_only_for_hooked_calls() {
     assert!(machine.stats.calls >= 1);
     assert!(machine.stats.instructions > 0);
 }
+
+/// A handler that pauses at the first call to a function, then counts as
+/// inert afterwards.
+struct PauseAt {
+    func: String,
+    paused: bool,
+}
+
+impl HookHandler for PauseAt {
+    fn on_call(&mut self, func: &str, _ctx: &mut CallContext<'_>) -> HookAction {
+        if func == self.func && !self.paused {
+            self.paused = true;
+            return HookAction::Pause;
+        }
+        HookAction::Forward
+    }
+}
+
+/// The snapshot-fork contract at the VM level: pausing at a hooked call,
+/// snapshotting, and resuming the fork under an injecting handler must be
+/// indistinguishable from running the injecting handler on a fresh machine
+/// — same exit, same output, same clock, same architectural state.
+#[test]
+fn pause_snapshot_resume_matches_a_fresh_run() {
+    let src = r#"
+        .module app exe
+        .needed minilib
+        .func main
+            movi r1, 1
+            leasym r2, msg
+            movi r3, 3
+            callsym my_write
+            movi r1, 1
+            leasym r2, msg
+            movi r3, 3
+            callsym my_write
+            cmpi r0, -1
+            jne ok
+            tlsld r0, errno
+            ret
+        ok:
+            movi r0, 0
+            ret
+        .string msg "abc"
+    "#;
+    let lib = assemble_text(MINILIB).unwrap();
+    let exe = assemble_text(src).unwrap();
+    let mut loader = Loader::new();
+    loader.add_library(lib);
+    loader.interpose("my_write");
+    let image = loader.load(exe).unwrap();
+
+    let injector = || FailNth {
+        func: "my_write".into(),
+        fail_on: 2,
+        seen: 0,
+        retval: -1,
+        errno: errno::ENOSPC,
+        observed_args: Vec::new(),
+        observed_callers: Vec::new(),
+    };
+
+    // Fresh reference run: the injecting handler sees both writes.
+    let mut fresh = Machine::new(image.clone(), ProcessConfig::default());
+    let mut fresh_handler = injector();
+    let fresh_exit = fresh.run_to_completion(&mut fresh_handler);
+    assert_eq!(fresh_exit, RunExit::Exited(errno::ENOSPC));
+
+    // Paused run: stop before the first write executes...
+    let mut prefix = Machine::new(image, ProcessConfig::default());
+    let mut pause = PauseAt {
+        func: "my_write".into(),
+        paused: false,
+    };
+    let exit = prefix.run_to_completion(&mut pause);
+    assert_eq!(exit, RunExit::Paused);
+    assert_eq!(prefix.output_string(), "", "paused before the call ran");
+    let snapshot = prefix.snapshot();
+
+    // ...then fork and resume under the injector: it must observe the very
+    // same two calls a fresh run observes.
+    let mut fork = snapshot.fork();
+    let mut fork_handler = injector();
+    let fork_exit = fork.run_to_completion(&mut fork_handler);
+    assert_eq!(fork_exit, fresh_exit);
+    assert_eq!(fork_handler.seen, fresh_handler.seen);
+    assert_eq!(fork.output_string(), fresh.output_string());
+    assert_eq!(fork.clock(), fresh.clock());
+    assert_eq!(fork.stats, fresh.stats);
+    assert_eq!(fork.state_fingerprint(), fresh.state_fingerprint());
+
+    // The snapshot is reusable: a second fork behaves identically.
+    let mut again = snapshot.fork();
+    let exit_again = again.run_to_completion(&mut injector());
+    assert_eq!(exit_again, fresh_exit);
+    assert_eq!(again.state_fingerprint(), fresh.state_fingerprint());
+}

@@ -1,0 +1,148 @@
+//! Property tests for `Machine::snapshot` / `restore` / `fork`.
+//!
+//! The invariant: a snapshot captures the *complete* machine state. Taking
+//! a snapshot at an arbitrary execution point, mutating the machine however
+//! we like (more execution, filesystem writes, environment changes), and
+//! restoring must round-trip to byte-identical state — and a fork taken
+//! from the snapshot must behave exactly like the restored original from
+//! there on.
+
+use lfi_asm::assemble_text;
+use lfi_vm::{Loader, Machine, NoHooks, ProcessConfig};
+use proptest::prelude::*;
+
+const MINILIB: &str = r#"
+    .module minilib lib
+    .file "minilib.s"
+
+    .func my_open
+        movi r0, 0
+        sys open
+        ret
+
+    .func my_write
+        sys write
+        ret
+
+    .func my_sbrk
+        sys sbrk
+        ret
+"#;
+
+/// A program that keeps mutating observable state: grows the heap, stores
+/// a counter into heap and BSS memory, appends to a file, and writes to
+/// stdout — so two machines at different execution points always differ.
+const APP: &str = r#"
+    .module app exe
+    .needed minilib
+    .func main
+        movi r1, 4096
+        callsym my_sbrk
+        mov r9, r0            ; heap base
+        leasym r1, path
+        movi r2, 73           ; CREAT|WRONLY|APPEND (value irrelevant to sim)
+        movi r3, 0
+        callsym my_open
+        mov r8, r0            ; file fd
+        movi r10, 0           ; counter
+        movi r11, 150         ; iterations
+    loop:
+        cmp r10, r11
+        jge done
+        st [r9+0], r10        ; heap write
+        leasym r4, buf
+        st [r4+8], r10        ; bss write
+        mov r1, r8
+        leasym r2, msg
+        movi r3, 2
+        callsym my_write      ; file append
+        movi r1, 1
+        leasym r2, msg
+        movi r3, 1
+        callsym my_write      ; stdout
+        addi r10, 1
+        jmp loop
+    done:
+        movi r0, 0
+        ret
+    .string path "/log.txt"
+    .string msg "ab"
+    .bss buf 64
+"#;
+
+fn build_machine() -> Machine {
+    let lib = assemble_text(MINILIB).expect("assemble minilib");
+    let exe = assemble_text(APP).expect("assemble app");
+    let mut loader = Loader::new();
+    loader.add_library(lib);
+    let image = loader.load(exe).expect("load");
+    let mut machine = Machine::new(
+        image,
+        ProcessConfig {
+            record_coverage: true,
+            ..ProcessConfig::default()
+        },
+    );
+    machine.fs_mut().write_file("/log.txt", b"").unwrap();
+    machine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_then_mutate_then_restore_roundtrips(
+        prefix in 0u64..6000,
+        mutation in 1u64..6000,
+        scribble in any::<u64>(),
+    ) {
+        let mut machine = build_machine();
+        machine.run(&mut NoHooks, prefix);
+        let fingerprint = machine.state_fingerprint();
+        let snapshot = machine.snapshot();
+
+        // A fork of the snapshot is byte-identical to the machine.
+        prop_assert_eq!(snapshot.fork().state_fingerprint(), fingerprint);
+
+        // Mutate the machine: run further, scribble on the filesystem and
+        // environment. The fingerprint must move (the fs write alone
+        // guarantees it).
+        machine.run(&mut NoHooks, mutation);
+        machine
+            .fs_mut()
+            .write_file("/scratch", &scribble.to_le_bytes())
+            .unwrap();
+        machine.set_env("SCRIBBLE", &scribble.to_string());
+        prop_assert_ne!(machine.state_fingerprint(), fingerprint);
+
+        // Restore: byte-identical again (mem, regs, fs, coverage, output).
+        machine.restore(&snapshot);
+        prop_assert_eq!(machine.state_fingerprint(), fingerprint);
+    }
+
+    #[test]
+    fn restored_and_forked_machines_continue_identically(
+        prefix in 0u64..6000,
+        detour in 1u64..3000,
+    ) {
+        let mut machine = build_machine();
+        machine.run(&mut NoHooks, prefix);
+        let snapshot = machine.snapshot();
+        let mut fork = snapshot.fork();
+
+        // Drive the original down a detour, then restore it.
+        machine.run(&mut NoHooks, detour);
+        machine.restore(&snapshot);
+
+        // Both continue to completion with identical observable behavior.
+        let exit_restored = machine.run_to_completion(&mut NoHooks);
+        let exit_forked = fork.run_to_completion(&mut NoHooks);
+        prop_assert_eq!(exit_restored, exit_forked);
+        prop_assert_eq!(machine.state_fingerprint(), fork.state_fingerprint());
+        prop_assert_eq!(machine.output_string(), fork.output_string());
+        prop_assert_eq!(
+            machine.fs().read_file("/log.txt").unwrap(),
+            fork.fs().read_file("/log.txt").unwrap()
+        );
+    }
+}

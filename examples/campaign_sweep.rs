@@ -8,20 +8,25 @@
 //! anything.
 //!
 //! Usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|adaptive|random]
+//!                       [--backend fresh|snapshot]
 
 use lfi::campaign::{
-    default_test_suite, Campaign, CampaignConfig, CampaignState, CoverageAdaptive, Exhaustive,
-    InjectionGuided, RandomSample, StandardExecutor, Strategy,
+    default_test_suite, Campaign, CampaignConfig, CampaignState, CoverageAdaptive, ExecBackend,
+    Exhaustive, InjectionGuided, RandomSample, StandardExecutor, Strategy, STOCK_TARGETS,
 };
 use lfi::targets::standard_controller;
 
 fn usage() -> ! {
-    eprintln!("usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|adaptive|random]");
+    eprintln!(
+        "usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|adaptive|random] \
+         [--backend fresh|snapshot]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut jobs = 2usize;
+    let mut backend = ExecBackend::Fresh;
     let mut strategy: Box<dyn Strategy> = Box::new(CoverageAdaptive::default());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,12 +46,19 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--backend" => {
+                backend = args
+                    .next()
+                    .as_deref()
+                    .and_then(ExecBackend::parse)
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
 
     // 1. Enumerate and annotate the fault space of every runnable target.
-    let executor = StandardExecutor::new();
+    let executor = StandardExecutor::new(&STOCK_TARGETS);
     let profile = standard_controller().profile_libraries();
     let targets = ["bind-lite", "git-lite", "db-lite", "httpd-lite", "bft-lite"];
     let mut space = executor.fault_space(&targets, &profile);
@@ -75,7 +87,15 @@ fn main() {
     // scheduler, completed batches feed back into the schedule: fault
     // points near fresh crash signatures are escalated, repeatedly-passing
     // caller neighborhoods sink to the back.
-    let campaign = Campaign::new(space, &executor, CampaignConfig { jobs, seed: 7 });
+    let campaign = Campaign::new(
+        space,
+        &executor,
+        CampaignConfig {
+            jobs,
+            seed: 7,
+            backend,
+        },
+    );
     let mut state = CampaignState::default();
     let report = campaign.run(strategy.as_ref(), &mut state);
     println!("\n{report}");

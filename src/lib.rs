@@ -72,13 +72,13 @@ pub mod prelude {
     // The `Strategy` trait itself stays at `lfi::campaign::Strategy`: its
     // name collides with `proptest::prelude::Strategy` under glob imports.
     pub use lfi_campaign::{
-        Campaign, CampaignConfig, CampaignHistory, CampaignState, CoverageAdaptive, Exhaustive,
-        FaultPoint, FaultSpace, InjectionGuided, RandomSample, StandardExecutor,
+        Campaign, CampaignConfig, CampaignHistory, CampaignState, CoverageAdaptive, ExecBackend,
+        Exhaustive, FaultPoint, FaultSpace, InjectionGuided, RandomSample, StandardExecutor,
     };
     pub use lfi_core::{
         Controller, FrameSpec, FunctionAssoc, InjectionEngine, RunToCompletion, Scenario,
         TestConfig, TestOutcome, Trigger, TriggerCtx, TriggerDecl, TriggerRegistry, Workload,
     };
     pub use lfi_profiler::{profile_library, FaultProfile};
-    pub use lfi_vm::{HookAction, Machine, NetHandle, RunExit};
+    pub use lfi_vm::{HookAction, Machine, MachineSnapshot, NetHandle, RunExit};
 }
