@@ -9,10 +9,7 @@
 //! identical to the fresh lanes' — only the wall clock may differ.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignState, CoverageAdaptive, ExecBackend, Exhaustive, FaultSpace,
-    StandardExecutor,
-};
+use lfi_campaign::{Campaign, CoverageAdaptive, ExecBackend, FaultSpace, StandardExecutor};
 use lfi_targets::standard_controller;
 
 fn git_space(executor: &StandardExecutor) -> FaultSpace {
@@ -25,31 +22,26 @@ fn git_space(executor: &StandardExecutor) -> FaultSpace {
 fn bench_campaign_throughput(c: &mut Criterion) {
     let executor = StandardExecutor::new(&["git-lite"]);
     let space = git_space(&executor);
-    let units = Campaign::new(space.clone(), &executor, CampaignConfig::default()).total_units();
+    let units = Campaign::builder(space.clone(), &executor)
+        .build()
+        .campaign()
+        .total_units();
 
     let mut group = c.benchmark_group("campaign_throughput");
     group.sample_size(10);
     for backend in [ExecBackend::Fresh, ExecBackend::Snapshot] {
-        let lane = match backend {
-            ExecBackend::Fresh => "fresh",
-            ExecBackend::Snapshot => "snapshot",
-        };
         for jobs in [1usize, 4] {
             group.bench_with_input(
-                BenchmarkId::new(format!("git_lite_{units}_scenarios_{lane}"), jobs),
+                BenchmarkId::new(format!("git_lite_{units}_scenarios_{backend}"), jobs),
                 &jobs,
                 |b, &jobs| {
-                    let campaign = Campaign::new(
-                        space.clone(),
-                        &executor,
-                        CampaignConfig {
-                            jobs,
-                            seed: 7,
-                            backend,
-                        },
-                    );
+                    let driver = Campaign::builder(space.clone(), &executor)
+                        .jobs(jobs)
+                        .seed(7)
+                        .backend(backend)
+                        .build();
                     b.iter(|| {
-                        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+                        let report = driver.run_to_completion().report;
                         assert_eq!(report.executed_now, units);
                         report.triage.crashes
                     });
@@ -58,17 +50,13 @@ fn bench_campaign_throughput(c: &mut Criterion) {
         }
     }
     group.bench_function("git_lite_adaptive_jobs4", |b| {
-        let campaign = Campaign::new(
-            space.clone(),
-            &executor,
-            CampaignConfig {
-                jobs: 4,
-                seed: 7,
-                backend: ExecBackend::Fresh,
-            },
-        );
+        let driver = Campaign::builder(space.clone(), &executor)
+            .strategy(CoverageAdaptive::default())
+            .jobs(4)
+            .seed(7)
+            .build();
         b.iter(|| {
-            let report = campaign.run(&CoverageAdaptive::default(), &mut CampaignState::default());
+            let report = driver.run_to_completion().report;
             assert!(report.executed_now > 0);
             report.triage.crashes
         });

@@ -22,10 +22,7 @@ use std::process::exit;
 use std::time::Instant;
 
 use lfi_bench::{match_known_bugs, table1_fault_space};
-use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignState, ExecBackend, Exhaustive, FaultSpace,
-    StandardExecutor,
-};
+use lfi_campaign::{Campaign, CampaignReport, ExecBackend, FaultSpace, StandardExecutor};
 use lfi_json::Value;
 use lfi_targets::{standard_controller, KNOWN_BUGS};
 
@@ -34,13 +31,6 @@ const HUNT_TARGETS: [&str; 4] = ["bind-lite", "git-lite", "db-lite", "bft-lite"]
 fn usage() -> ! {
     eprintln!("usage: campaign_bench [--jobs N] [--out FILE]");
     exit(2);
-}
-
-fn backend_name(backend: ExecBackend) -> &'static str {
-    match backend {
-        ExecBackend::Fresh => "fresh",
-        ExecBackend::Snapshot => "snapshot",
-    }
 }
 
 struct Lane {
@@ -58,17 +48,13 @@ fn run_lane(
     backend: ExecBackend,
 ) -> Lane {
     let executor = make_executor();
-    let campaign = Campaign::new(
-        space.clone(),
-        &executor,
-        CampaignConfig {
-            jobs,
-            seed: 7,
-            backend,
-        },
-    );
+    let driver = Campaign::builder(space.clone(), &executor)
+        .jobs(jobs)
+        .seed(7)
+        .backend(backend)
+        .build();
     let start = Instant::now();
-    let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+    let report = driver.run_to_completion().report;
     Lane {
         backend,
         seconds: start.elapsed().as_secs_f64(),
@@ -79,10 +65,7 @@ fn run_lane(
 fn lane_json(section: &str, jobs: usize, lane: &Lane) -> Value {
     Value::Obj(vec![
         ("section".to_string(), Value::Str(section.to_string())),
-        (
-            "backend".to_string(),
-            Value::Str(backend_name(lane.backend).to_string()),
-        ),
+        ("backend".to_string(), Value::Str(lane.backend.to_string())),
         ("jobs".to_string(), Value::Int(jobs as i64)),
         (
             "units".to_string(),
@@ -109,7 +92,7 @@ fn lane_json(section: &str, jobs: usize, lane: &Lane) -> Value {
 fn print_lane(section: &str, jobs: usize, lane: &Lane) {
     println!(
         "{section:<11} {:<9} jobs={jobs} units={} time={:.3}s throughput={:.1} units/sec",
-        backend_name(lane.backend),
+        lane.backend,
         lane.report.executed_now,
         lane.seconds,
         lane.report.executed_now as f64 / lane.seconds,
@@ -167,13 +150,13 @@ fn main() {
         if table.found.len() != KNOWN_BUGS.len() {
             failures.push(format!(
                 "table1 {} lane found {}/{} known bugs (missed: {:?})",
-                backend_name(lane.backend),
+                lane.backend,
                 table.found.len(),
                 KNOWN_BUGS.len(),
                 table.missed
             ));
         }
-        bugs_found.push((backend_name(lane.backend), table.found.len()));
+        bugs_found.push((lane.backend.to_string(), table.found.len()));
     }
 
     let doc = Value::Obj(vec![

@@ -7,10 +7,12 @@
 //! list.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 
 use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignState, CoverageAdaptive, ExecBackend,
-    Exhaustive, FaultSpace, InjectionGuided, OutcomeKind, RandomSample, StandardExecutor, Strategy,
+    Campaign, CampaignReport, CampaignState, CoverageAdaptive, ExecBackend, Exhaustive, FaultSpace,
+    InjectionGuided, OutcomeKind, RandomSample, ShardMergeError, ShardOutcome, ShardSpec,
+    StandardExecutor, Strategy,
 };
 use lfi_targets::{standard_controller, KNOWN_BUGS};
 
@@ -41,7 +43,7 @@ pub enum HuntStrategy {
 }
 
 /// Campaign options for the Table 1 hunt.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HuntOptions {
     /// Worker threads.
     pub jobs: usize,
@@ -51,6 +53,13 @@ pub struct HuntOptions {
     pub seed: u64,
     /// Execution backend (fresh VM per unit, or snapshot-fork sessions).
     pub backend: ExecBackend,
+    /// Which round-robin slice of the fault space to run
+    /// ([`ShardSpec::FULL`] for the whole hunt). Sibling processes run the
+    /// other slices; [`table1_merge`] recombines their persisted states.
+    pub shard: ShardSpec,
+    /// Checkpoint path: the campaign state is persisted here after every
+    /// batch and resumed from here when the file already exists.
+    pub state: Option<PathBuf>,
 }
 
 impl Default for HuntOptions {
@@ -60,6 +69,8 @@ impl Default for HuntOptions {
             strategy: HuntStrategy::Exhaustive,
             seed: 7,
             backend: ExecBackend::Fresh,
+            shard: ShardSpec::FULL,
+            state: None,
         }
     }
 }
@@ -69,8 +80,18 @@ impl Default for HuntOptions {
 pub struct Table1Campaign {
     /// The matched known-bug table.
     pub table: Table1,
-    /// The underlying campaign report (plan size, triage, records).
+    /// The underlying campaign report (plan size, triage, records). For a
+    /// sharded hunt this covers only the shard's slice; for
+    /// [`table1_merge`] it is the recombined whole.
     pub report: CampaignReport,
+    /// Which slice produced the report ([`ShardSpec::FULL`] for unsharded
+    /// hunts and merged results).
+    pub shard: ShardSpec,
+    /// The checkpoint tag the hunt ran under
+    /// (`fingerprint@plan-hash#i/n`; the shared plan tag, without a shard
+    /// suffix, for merged results). Callers use it to tell a genuine
+    /// resume from a checkpoint the engine discarded as mismatched.
+    pub tag: String,
 }
 
 /// Enumerate the Table 1 fault space: every call site of every profiled
@@ -85,21 +106,9 @@ pub fn table1_fault_space(executor: &StandardExecutor, seed: u64) -> FaultSpace 
     space
 }
 
-/// Run the Table 1 bug hunt as a campaign.
-pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
-    // Only the four hunted targets are loaded; httpd-lite stays cold.
-    let executor = StandardExecutor::new(&HUNT_TARGETS);
-    let space = table1_fault_space(&executor, options.seed);
-    let campaign = Campaign::new(
-        space,
-        &executor,
-        CampaignConfig {
-            jobs: options.jobs,
-            seed: options.seed,
-            backend: options.backend,
-        },
-    );
-    let strategy: Box<dyn Strategy> = match options.strategy {
+/// The boxed strategy behind a [`HuntStrategy`] choice.
+fn hunt_strategy(options: &HuntOptions) -> Box<dyn Strategy> {
+    match options.strategy {
         HuntStrategy::Exhaustive => Box::new(Exhaustive),
         HuntStrategy::Random { count } => Box::new(RandomSample {
             count,
@@ -109,16 +118,60 @@ pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
         // The hunt opts into saturation pruning: once a caller neighborhood
         // keeps passing, its remaining *checked* call sites are dropped —
         // 254 units instead of guided's 272, still 11/11 known bugs.
+        // (Pruning decisions read the shard-local history, so a sharded
+        // adaptive hunt may cover a slightly different unit set than the
+        // unsharded one; the static strategies shard loss-free.)
         HuntStrategy::Adaptive => Box::new(CoverageAdaptive {
             prune_saturated: true,
             ..CoverageAdaptive::default()
         }),
-    };
-    let report = campaign.run(strategy.as_ref(), &mut CampaignState::default());
-    Table1Campaign {
-        table: match_known_bugs(&report),
-        report,
     }
+}
+
+/// Run the Table 1 bug hunt as a campaign (or one shard of it).
+pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
+    // Only the four hunted targets are loaded; httpd-lite stays cold.
+    let executor = StandardExecutor::new(&HUNT_TARGETS);
+    let space = table1_fault_space(&executor, options.seed);
+    let mut builder = Campaign::builder(space, &executor)
+        .boxed_strategy(hunt_strategy(options))
+        .jobs(options.jobs)
+        .seed(options.seed)
+        .backend(options.backend)
+        .shard(options.shard);
+    if let Some(path) = &options.state {
+        builder = builder.checkpoint(path);
+    }
+    let outcome = builder.build().run_to_completion();
+    Table1Campaign {
+        table: match_known_bugs(&outcome.report),
+        shard: outcome.shard,
+        tag: outcome.tag,
+        report: outcome.report,
+    }
+}
+
+/// Merge the persisted states of a complete shard set back into one Table 1
+/// result — the `table1_bugs merge` step. The states must cover every
+/// shard of one hunt (same strategy, seed, and fault space); the merged
+/// records and triage are identical to the equivalent unsharded hunt's,
+/// so the known-bug matching sees exactly what a single process would.
+pub fn table1_merge(states: &[CampaignState]) -> Result<Table1Campaign, ShardMergeError> {
+    let outcomes = states
+        .iter()
+        .map(ShardOutcome::from_state)
+        .collect::<Result<Vec<_>, _>>()?;
+    let tag = outcomes
+        .first()
+        .map(|outcome| outcome.plan_tag().to_string())
+        .unwrap_or_default();
+    let report = CampaignReport::merge(outcomes)?;
+    Ok(Table1Campaign {
+        table: match_known_bugs(&report),
+        shard: ShardSpec::FULL,
+        tag,
+        report,
+    })
 }
 
 /// Match a campaign's records against the paper's known-bug list, exactly

@@ -1,0 +1,543 @@
+//! Fluent campaign construction and orchestration: [`CampaignBuilder`] →
+//! [`CampaignDriver`].
+//!
+//! The builder replaces ad-hoc `CampaignConfig` construction with one
+//! chain that names every orchestration choice:
+//!
+//! ```no_run
+//! use lfi_campaign::{Campaign, CoverageAdaptive, ExecBackend, ShardSpec, StandardExecutor};
+//!
+//! let executor = StandardExecutor::new(&["git-lite"]);
+//! let profile = lfi_targets::standard_controller().profile_libraries();
+//! let space = executor.fault_space(&["git-lite"], &profile);
+//!
+//! let driver = Campaign::builder(space, &executor)
+//!     .strategy(CoverageAdaptive::default())
+//!     .backend(ExecBackend::Snapshot)
+//!     .jobs(4)
+//!     .seed(7)
+//!     .shard(ShardSpec { index: 0, count: 2 })
+//!     .build();
+//! let outcome = driver.run_to_completion();
+//! println!("{}", outcome.report);
+//! ```
+//!
+//! The driver is the unit a multi-process (or multi-machine) supervisor
+//! orchestrates: each process builds the same plan with its own
+//! [`ShardSpec`] slice, streams progress through an
+//! [`EventSink`](crate::events::EventSink), checkpoints after every batch,
+//! and hands back a mergeable [`ShardOutcome`] —
+//! [`CampaignReport::merge`](crate::CampaignReport::merge) recombines a
+//! complete shard set into a report record- and triage-identical to the
+//! unsharded run.
+
+use std::path::PathBuf;
+
+use crate::engine::{Campaign, CampaignConfig, ExecBackend, Executor};
+use crate::events::EventSink;
+use crate::shard::{ShardOutcome, ShardSpec};
+use crate::space::FaultSpace;
+use crate::state::CampaignState;
+use crate::strategy::{Exhaustive, Strategy};
+
+/// Fluent configuration of a campaign run; built by
+/// [`Campaign::builder`] and finished by [`CampaignBuilder::build`].
+///
+/// Defaults: [`Exhaustive`] strategy, [`ExecBackend::Fresh`], 1 job, seed
+/// 7, the full (unsharded) shard, no event sink, no checkpoint path.
+pub struct CampaignBuilder<'a> {
+    space: FaultSpace,
+    executor: &'a dyn Executor,
+    config: CampaignConfig,
+    strategy: Box<dyn Strategy + 'a>,
+    shard: ShardSpec,
+    sink: Option<&'a dyn EventSink>,
+    checkpoint: Option<PathBuf>,
+}
+
+impl<'a> CampaignBuilder<'a> {
+    pub(crate) fn new(space: FaultSpace, executor: &'a dyn Executor) -> CampaignBuilder<'a> {
+        CampaignBuilder {
+            space,
+            executor,
+            config: CampaignConfig::default(),
+            strategy: Box::new(Exhaustive),
+            shard: ShardSpec::FULL,
+            sink: None,
+            checkpoint: None,
+        }
+    }
+
+    /// The search strategy driving the schedule (default: [`Exhaustive`]).
+    pub fn strategy(self, strategy: impl Strategy + 'a) -> Self {
+        self.boxed_strategy(Box::new(strategy))
+    }
+
+    /// Like [`CampaignBuilder::strategy`], for strategies already boxed
+    /// (e.g. chosen from a command-line flag).
+    pub fn boxed_strategy(mut self, strategy: Box<dyn Strategy + 'a>) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The execution backend (default: [`ExecBackend::Fresh`]).
+    pub fn backend(mut self, backend: ExecBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Worker threads draining each batch (default: 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.config.jobs = jobs;
+        self
+    }
+
+    /// The campaign base seed unit seeds are derived from (default: 7).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Run only one round-robin slice of the fault space (default:
+    /// [`ShardSpec::FULL`], the whole space). Sibling processes run the
+    /// other slices of the same `count`; their outcomes merge with
+    /// [`crate::CampaignReport::merge`].
+    pub fn shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Stream [`CampaignEvent`](crate::events::CampaignEvent)s into `sink`
+    /// while the campaign runs (default: no events).
+    pub fn events(mut self, sink: &'a dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Persist the campaign state to `path` after every batch, and let
+    /// [`CampaignDriver::run_to_completion`] resume from the file when it
+    /// already exists (default: no checkpointing). An interrupted sharded
+    /// run thus loses at most one batch.
+    pub fn checkpoint(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint = Some(path.into());
+        self
+    }
+
+    /// Finish the chain: fix the canonical unit layout and return the
+    /// driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard spec is invalid (`count == 0` or
+    /// `index >= count`) — specs from user input should be validated
+    /// first via [`ShardSpec::new`] or `str::parse`.
+    pub fn build(self) -> CampaignDriver<'a> {
+        if let Err(err) = self.shard.validate() {
+            panic!("invalid campaign shard: {err}");
+        }
+        CampaignDriver {
+            campaign: Campaign::new(self.space, self.executor, self.config),
+            strategy: self.strategy,
+            shard: self.shard,
+            sink: self.sink,
+            checkpoint: self.checkpoint,
+        }
+    }
+}
+
+/// A fully configured campaign, ready to run (repeatedly, for resumes).
+///
+/// Built by [`CampaignBuilder::build`]; see the module docs for the
+/// orchestration model.
+pub struct CampaignDriver<'a> {
+    campaign: Campaign<'a>,
+    strategy: Box<dyn Strategy + 'a>,
+    shard: ShardSpec,
+    sink: Option<&'a dyn EventSink>,
+    checkpoint: Option<PathBuf>,
+}
+
+impl<'a> CampaignDriver<'a> {
+    /// The underlying campaign (space, canonical unit layout, prepared
+    /// sessions).
+    pub fn campaign(&self) -> &Campaign<'a> {
+        &self.campaign
+    }
+
+    /// Which slice of the space this driver runs.
+    pub fn shard(&self) -> ShardSpec {
+        self.shard
+    }
+
+    /// Canonical work units owned by this driver's shard.
+    pub fn shard_units(&self) -> usize {
+        self.campaign.shard_units(self.shard)
+    }
+
+    /// The state this run would start from: the parsed checkpoint file
+    /// when a checkpoint path is configured and the file exists, an empty
+    /// state otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an existing checkpoint file cannot be read or parsed —
+    /// a corrupt checkpoint should be surfaced, not silently discarded.
+    pub fn load_state(&self) -> CampaignState {
+        let Some(path) = self.checkpoint.as_deref().filter(|p| p.exists()) else {
+            return CampaignState::default();
+        };
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|err| panic!("read campaign checkpoint {}: {err}", path.display()));
+        CampaignState::from_json(&text).unwrap_or_else(|err| {
+            panic!(
+                "parse campaign checkpoint {}: {} (at byte {})",
+                path.display(),
+                err.message,
+                err.position
+            )
+        })
+    }
+
+    /// Run this shard to completion and return its mergeable outcome.
+    ///
+    /// With a checkpoint path configured this is a *resumable* entry
+    /// point: the state is loaded from the file when it exists (completed
+    /// units are skipped; a mismatched tag starts fresh), and persisted
+    /// back after every batch. Without one it always starts fresh.
+    pub fn run_to_completion(&self) -> ShardOutcome {
+        let mut state = self.load_state();
+        self.run_with_state(&mut state)
+    }
+
+    /// Run this shard against caller-owned state (updated in place) —
+    /// the resumable entry point for callers that manage persistence
+    /// themselves. Events stream into the registered sink; the checkpoint
+    /// path, when configured, is still written after every batch.
+    pub fn run_with_state(&self, state: &mut CampaignState) -> ShardOutcome {
+        self.campaign.run_driven(
+            self.strategy.as_ref(),
+            state,
+            self.shard,
+            self.sink,
+            self.checkpoint.as_deref(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use crate::engine::{Execution, OutcomeKind, WorkUnit};
+    use crate::events::{CampaignEvent, EventLog};
+    use crate::space::FaultPoint;
+    use crate::triage::CampaignReport;
+
+    use super::*;
+
+    /// Crashes on every offset that is a multiple of 8; two workloads per
+    /// target.
+    struct FakeExecutor {
+        executions: AtomicUsize,
+    }
+
+    impl FakeExecutor {
+        fn new() -> FakeExecutor {
+            FakeExecutor {
+                executions: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Executor for FakeExecutor {
+        fn workloads(&self, _target: &str) -> Vec<Vec<String>> {
+            vec![vec!["a".into()], vec!["b".into()]]
+        }
+
+        fn execute(&self, unit: &WorkUnit) -> Execution {
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            let crashes = if unit.point.offset.is_multiple_of(8) {
+                vec![crate::engine::CrashInfo {
+                    module: unit.point.target.clone(),
+                    offset: unit.point.offset + 100,
+                    description: "segfault".into(),
+                    in_function: Some("victim".into()),
+                    backtrace: vec!["victim".into(), "main".into()],
+                }]
+            } else {
+                Vec::new()
+            };
+            Execution {
+                outcome: if crashes.is_empty() {
+                    OutcomeKind::Passed
+                } else {
+                    OutcomeKind::Crashed
+                },
+                injections: 1,
+                injected_sites: vec![],
+                crashes,
+                virtual_time: 10,
+            }
+        }
+    }
+
+    fn demo_space(points: usize) -> FaultSpace {
+        FaultSpace {
+            points: (0..points)
+                .map(|i| FaultPoint {
+                    target: "demo".into(),
+                    function: "read".into(),
+                    offset: (i as u64) * 4,
+                    caller: Some("main".into()),
+                    retval: -1,
+                    errno: None,
+                    class: None,
+                    reached: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn builder_defaults_match_the_legacy_config() {
+        let executor = FakeExecutor::new();
+        let driver = Campaign::builder(demo_space(3), &executor).build();
+        assert_eq!(driver.shard(), ShardSpec::FULL);
+        assert_eq!(driver.shard_units(), driver.campaign().total_units());
+        let outcome = driver.run_to_completion();
+        assert_eq!(outcome.report.strategy, "exhaustive");
+        assert_eq!(outcome.report.executed_now, 6, "3 points x 2 workloads");
+        assert_eq!(outcome.seed, CampaignConfig::default().seed);
+        assert!(outcome.tag.ends_with("#0/1"), "tag: {}", outcome.tag);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn the_deprecated_run_shim_matches_the_driver() {
+        let executor = FakeExecutor::new();
+        let driver = Campaign::builder(demo_space(5), &executor).jobs(2).build();
+        let via_driver = driver.run_to_completion().report;
+
+        let campaign = Campaign::new(
+            demo_space(5),
+            &executor,
+            CampaignConfig {
+                jobs: 2,
+                ..CampaignConfig::default()
+            },
+        );
+        let via_shim = campaign.run(&Exhaustive, &mut CampaignState::default());
+        assert_eq!(via_shim.records, via_driver.records);
+        assert_eq!(via_shim.triage.buckets, via_driver.triage.buckets);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign shard")]
+    fn building_with_an_invalid_shard_panics() {
+        let executor = FakeExecutor::new();
+        let _ = Campaign::builder(demo_space(3), &executor)
+            .shard(ShardSpec { index: 2, count: 2 })
+            .build();
+    }
+
+    #[test]
+    fn shards_partition_the_run_and_merge_back_to_the_unsharded_report() {
+        let executor = FakeExecutor::new();
+        let unsharded = Campaign::builder(demo_space(7), &executor)
+            .jobs(2)
+            .build()
+            .run_to_completion();
+
+        let count = 3;
+        let mut outcomes = Vec::new();
+        let mut per_shard_units = 0;
+        for index in 0..count {
+            let executor = FakeExecutor::new();
+            let driver = Campaign::builder(demo_space(7), &executor)
+                .jobs(2)
+                .shard(ShardSpec::new(index, count).unwrap())
+                .build();
+            per_shard_units += driver.shard_units();
+            let outcome = driver.run_to_completion();
+            assert_eq!(
+                outcome.report.executed_now,
+                driver.shard_units(),
+                "shard {index} runs exactly its own units"
+            );
+            assert!(outcome.tag.ends_with(&format!("#{index}/{count}")));
+            outcomes.push(outcome);
+        }
+        assert_eq!(per_shard_units, unsharded.report.units_total);
+
+        let merged = CampaignReport::merge(outcomes).unwrap();
+        assert_eq!(merged.records, unsharded.report.records);
+        assert_eq!(merged.triage, unsharded.report.triage);
+        assert_eq!(merged.units_total, unsharded.report.units_total);
+        assert_eq!(merged.planned_points, unsharded.report.planned_points);
+    }
+
+    #[test]
+    fn a_shard_checkpoint_cannot_be_resumed_by_another_shard() {
+        let executor = FakeExecutor::new();
+        let shard0 = Campaign::builder(demo_space(6), &executor)
+            .shard(ShardSpec::new(0, 2).unwrap())
+            .build();
+        let mut state = CampaignState::default();
+        let first = shard0.run_with_state(&mut state);
+        assert_eq!(first.report.executed_now, 6, "3 owned points x 2 workloads");
+
+        // The sibling shard must not adopt shard 0's records...
+        let executor1 = FakeExecutor::new();
+        let shard1 = Campaign::builder(demo_space(6), &executor1)
+            .shard(ShardSpec::new(1, 2).unwrap())
+            .build();
+        let hijack = shard1.run_with_state(&mut state);
+        assert_eq!(
+            hijack.report.executed_now, 6,
+            "wrong-shard resume starts fresh"
+        );
+        assert_eq!(hijack.report.records.len(), 6, "only shard 1's records");
+
+        // ...and neither must the unsharded run.
+        let executor_full = FakeExecutor::new();
+        let full = Campaign::builder(demo_space(6), &executor_full).build();
+        let report = full.run_with_state(&mut state).report;
+        assert_eq!(report.executed_now, 12, "unsharded resume starts fresh");
+    }
+
+    #[test]
+    fn events_stream_in_order_with_deduplicated_crashes() {
+        let executor = FakeExecutor::new();
+        let log = EventLog::new();
+        // Offsets 0,4,..,20: points at 0, 8, 16 crash, each onto its own
+        // signature; both workloads of a point share the signature.
+        let outcome = Campaign::builder(demo_space(6), &executor)
+            .jobs(2)
+            .events(&log)
+            .build()
+            .run_to_completion();
+        assert_eq!(outcome.report.triage.distinct_crashes(), 3);
+
+        let events = log.events();
+        assert!(
+            matches!(
+                events.first(),
+                Some(CampaignEvent::BatchPlanned {
+                    units: 12,
+                    pending: 12,
+                    ..
+                })
+            ),
+            "first event plans the batch: {:?}",
+            events.first()
+        );
+        assert!(
+            matches!(
+                events.last(),
+                Some(CampaignEvent::ShardFinished {
+                    executed: 12,
+                    records: 12,
+                    ..
+                })
+            ),
+            "last event closes the shard: {:?}",
+            events.last()
+        );
+        let count = |pred: fn(&CampaignEvent) -> bool| events.iter().filter(|e| pred(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, CampaignEvent::UnitStarted { .. })),
+            12
+        );
+        assert_eq!(count(|e| matches!(e, CampaignEvent::UnitFinished(_))), 12);
+        assert_eq!(
+            count(|e| matches!(e, CampaignEvent::CrashFound(_))),
+            3,
+            "one event per distinct signature, not one per crashing unit (6 units crashed)"
+        );
+        // Every unit's start precedes its finish.
+        for record in &outcome.report.records {
+            let started = events.iter().position(
+                |e| matches!(e, CampaignEvent::UnitStarted { unit, .. } if *unit == record.unit),
+            );
+            let finished = events
+                .iter()
+                .position(|e| matches!(e, CampaignEvent::UnitFinished(r) if r.unit == record.unit));
+            assert!(started.unwrap() < finished.unwrap());
+        }
+    }
+
+    #[test]
+    fn checkpointing_persists_per_batch_and_resumes_without_re_execution() {
+        let dir =
+            std::env::temp_dir().join(format!("lfi_builder_checkpoint_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        let _ = std::fs::remove_file(&path);
+
+        let executor = FakeExecutor::new();
+        let log = EventLog::new();
+        let driver = Campaign::builder(demo_space(4), &executor)
+            .checkpoint(&path)
+            .events(&log)
+            .build();
+        let first = driver.run_to_completion();
+        assert_eq!(first.report.executed_now, 8);
+        assert!(path.exists(), "checkpoint written");
+        assert_eq!(
+            log.count(|e| matches!(e, CampaignEvent::CheckpointWritten { .. })),
+            2,
+            "exhaustive is one batch: one per-batch write plus the final completion seal"
+        );
+        assert!(
+            driver.load_state().is_complete(),
+            "the persisted state is sealed complete"
+        );
+
+        // A second run loads the file and re-executes nothing; resumed
+        // crash signatures are not re-announced.
+        let resumed = driver.run_to_completion();
+        assert_eq!(resumed.report.executed_now, 0);
+        assert_eq!(resumed.report.records, first.report.records);
+        assert_eq!(executor.executions.load(Ordering::Relaxed), 8);
+        assert_eq!(
+            log.count(|e| matches!(e, CampaignEvent::CrashFound(_))),
+            first.report.triage.distinct_crashes(),
+            "resume announces no already-known signatures"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn outcomes_round_trip_through_persisted_state() {
+        let executor = FakeExecutor::new();
+        let count = 2;
+        let mut outcomes = Vec::new();
+        for index in 0..count {
+            let driver = Campaign::builder(demo_space(5), &executor)
+                .shard(ShardSpec::new(index, count).unwrap())
+                .build();
+            let mut state = CampaignState::default();
+            let live = driver.run_with_state(&mut state);
+            // The cross-process handoff: state → JSON → ShardOutcome.
+            let parsed = CampaignState::from_json(&state.to_json()).unwrap();
+            let outcome = ShardOutcome::from_state(&parsed).unwrap();
+            assert_eq!(outcome.shard, live.shard);
+            assert_eq!(outcome.tag, live.tag);
+            assert_eq!(outcome.seed, live.seed);
+            assert_eq!(
+                outcome.report.strategy, "exhaustive",
+                "strategy fingerprint recovered from the tag"
+            );
+            assert_eq!(outcome.report.records, live.report.records);
+            assert_eq!(outcome.report.triage, live.report.triage);
+            outcomes.push(outcome);
+        }
+        let executor_full = FakeExecutor::new();
+        let unsharded = Campaign::builder(demo_space(5), &executor_full)
+            .build()
+            .run_to_completion();
+        let merged = CampaignReport::merge(outcomes).unwrap();
+        assert_eq!(merged.records, unsharded.report.records);
+        assert_eq!(merged.triage, unsharded.report.triage);
+    }
+}

@@ -29,32 +29,47 @@
 //! results stay independent of the backend, the worker count, and the
 //! interleaving, and resumable state is backend-agnostic.
 //!
-//! ## Unit identity and resumability
+//! ## Unit identity, resumability, and sharding
 //!
 //! Unit ids are **canonical**: unit `id` is the position of its
 //! `(fault point, workload)` pair in the full expansion of the space in
 //! enumeration order, independent of the strategy's schedule. Persisted
-//! state is tagged `fingerprint@plan-hash`, where the plan hash covers every
-//! point's full identity (target, function, offset, caller, injected
-//! retval/errno, analyzer class, baseline reachability) and a digest of each
-//! target's workload suite. Any change that could shift unit ids or swap the
+//! state is tagged `fingerprint@plan-hash#shard`, where the plan hash
+//! covers every point's full identity (target, function, offset, caller,
+//! injected retval/errno, analyzer class, baseline reachability) and a
+//! digest of each target's workload suite, and the shard suffix is the
+//! run's [`ShardSpec`]. Any change that could shift unit ids or swap the
 //! scenario behind an id — re-annotation, a different fault profile, an
-//! edited test suite — therefore invalidates the checkpoint instead of
-//! silently misapplying it.
+//! edited test suite, a different shard spec — therefore invalidates the
+//! checkpoint instead of silently misapplying it.
+//!
+//! ## Driving a campaign
+//!
+//! Construction and orchestration live in the fluent
+//! [`CampaignBuilder`](crate::builder::CampaignBuilder) /
+//! [`CampaignDriver`](crate::builder::CampaignDriver) API
+//! (`Campaign::builder(space, &executor).strategy(...).build()`), which
+//! adds shard selection, streamed [`CampaignEvent`]s, and per-batch
+//! checkpointing on top of the engine loop. The old blocking
+//! [`Campaign::run`] remains as a deprecated shim over the same loop.
 
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
 
 use lfi_core::Scenario;
 
+use crate::builder::CampaignBuilder;
+use crate::events::{CampaignEvent, EventSink};
 use crate::history::CampaignHistory;
+use crate::shard::{ShardOutcome, ShardSpec};
 use crate::space::{FaultPoint, FaultSpace};
 use crate::state::CampaignState;
 use crate::strategy::Strategy;
-use crate::triage::{triage, CampaignReport};
+use crate::triage::{crash_signatures, triage, CampaignReport, CrashSignature};
 
 /// How one campaign run ended, from the triage point of view.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +200,18 @@ impl Session {
     pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
         self.0.downcast_ref::<T>()
     }
+
+    /// Recover the payload stored by [`Session::new`] **by value**,
+    /// consuming the session. Returns `None` (and drops the session) when
+    /// the payload is not a `T`.
+    ///
+    /// Prefer this over [`Session::downcast_ref`] when tearing a session
+    /// down or when the payload is cheap to move; the engine's cache hands
+    /// out shared `Arc<Session>`s, so executors called through the cache
+    /// only ever see `&Session` and use `downcast_ref`.
+    pub fn downcast<T: Any>(self) -> Option<T> {
+        self.0.downcast::<T>().ok().map(|payload| *payload)
+    }
 }
 
 impl std::fmt::Debug for Session {
@@ -196,14 +223,43 @@ impl std::fmt::Debug for Session {
 /// Runs work units against real targets. Implementations must be shareable
 /// across worker threads.
 ///
-/// The trait is a **session model**: under the snapshot backend the engine
-/// calls [`Executor::prepare`] once per `(target, workload)` pair and
-/// [`Executor::execute_from`] once per unit; under the fresh backend (and
-/// for targets whose `prepare` returns `None`) it calls
-/// [`Executor::execute`], which must build a fresh VM so units never share
-/// mutable state. Whichever path runs a unit, the resulting [`Execution`]
-/// must be identical — the backend is a performance choice, not a
-/// semantics choice.
+/// # The prepare / execute_from contract
+///
+/// The trait is a **session model** with two execution paths; which path a
+/// unit takes is the engine's choice ([`ExecBackend`]), never the
+/// implementor's:
+///
+/// * Under [`ExecBackend::Fresh`] the engine only ever calls
+///   [`Executor::execute`]. Every call must build an isolated instance
+///   (fresh VM, fresh simulated filesystem/network, RNG seeded from
+///   [`WorkUnit::seed`]) so units never share mutable state.
+/// * Under [`ExecBackend::Snapshot`] the engine calls
+///   [`Executor::prepare`] **at most once** per `(target, workload)` pair
+///   — its cache memoizes the result, and concurrent workers needing the
+///   same pair wait on the single preparation — then
+///   [`Executor::execute_from`] once per unit, always with a [`Session`]
+///   this same executor returned for exactly that unit's pair.
+///   `execute_from` must treat the session as immutable shared state:
+///   every sibling unit forks from the same session, concurrently.
+///
+/// ## The `None` fallback
+///
+/// `prepare` returning `None` declares "this pair cannot snapshot". The
+/// engine memoizes the refusal (so the decision is made once, not once per
+/// unit) and routes every unit of the pair through [`Executor::execute`]
+/// instead — even under the snapshot backend. The stock
+/// [`StandardExecutor`](crate::standard::StandardExecutor) refuses for
+/// **bft-lite**: the PBFT cluster target is multi-process (four replica
+/// VMs plus a client harness), so no single-machine snapshot can capture
+/// it, and its units always run as fresh cluster runs whatever the
+/// backend. It also refuses when a workload's prefix consumed randomness,
+/// because forks reseed the RNG per unit and would otherwise diverge from
+/// fresh runs.
+///
+/// Whichever path runs a unit, the resulting [`Execution`] must be
+/// **identical** — the backend is a performance choice, not a semantics
+/// choice, and the differential tests in
+/// `crates/campaign/tests/backend_parity.rs` enforce it.
 pub trait Executor: Sync {
     /// The workload argument lists forming `target`'s default test suite.
     /// Every selected fault point is run once per workload.
@@ -241,13 +297,47 @@ pub enum ExecBackend {
     Snapshot,
 }
 
-impl ExecBackend {
-    /// Parse a backend name as used by the command-line tools.
-    pub fn parse(name: &str) -> Option<ExecBackend> {
+impl std::fmt::Display for ExecBackend {
+    /// The command-line name of the backend (`fresh` / `snapshot`) —
+    /// the inverse of the [`FromStr`](std::str::FromStr) impl.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecBackend::Fresh => "fresh",
+            ExecBackend::Snapshot => "snapshot",
+        })
+    }
+}
+
+/// An unknown backend name; the message lists the accepted values, so
+/// command-line tools can surface it verbatim instead of silently
+/// defaulting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError {
+    found: String,
+}
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown execution backend `{}` (expected `fresh` or `snapshot`)",
+            self.found
+        )
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for ExecBackend {
+    type Err = ParseBackendError;
+
+    fn from_str(name: &str) -> Result<ExecBackend, ParseBackendError> {
         match name {
-            "fresh" => Some(ExecBackend::Fresh),
-            "snapshot" => Some(ExecBackend::Snapshot),
-            _ => None,
+            "fresh" => Ok(ExecBackend::Fresh),
+            "snapshot" => Ok(ExecBackend::Snapshot),
+            _ => Err(ParseBackendError {
+                found: name.to_string(),
+            }),
         }
     }
 }
@@ -274,6 +364,27 @@ impl Default for CampaignConfig {
             seed: 7,
             backend: ExecBackend::Fresh,
         }
+    }
+}
+
+/// Persist a campaign checkpoint with write-then-rename, so an
+/// interruption mid-write leaves the previous checkpoint intact instead of
+/// a truncated file the next run would refuse to parse.
+fn write_checkpoint(path: &Path, state: &CampaignState, sink: Option<&dyn EventSink>) {
+    // Append (never substitute) the marker: `state.0` and `state.1` in one
+    // directory must not share a temp file, and a checkpoint path that
+    // itself ends in `.tmp` must still get a distinct temp sibling.
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, state.to_json())
+        .and_then(|()| std::fs::rename(&tmp, path))
+        .unwrap_or_else(|err| panic!("write campaign checkpoint {}: {err}", path.display()));
+    if let Some(sink) = sink {
+        sink.event(&CampaignEvent::CheckpointWritten {
+            path: path.to_path_buf(),
+            completed: state.records().len(),
+        });
     }
 }
 
@@ -343,6 +454,15 @@ pub struct Campaign<'a> {
 }
 
 impl<'a> Campaign<'a> {
+    /// Start building a campaign over `space` with the fluent
+    /// [`CampaignBuilder`] API — strategy, backend, jobs, seed, shard,
+    /// event sink, and checkpoint path — finished by
+    /// [`CampaignBuilder::build`] into a
+    /// [`CampaignDriver`](crate::builder::CampaignDriver).
+    pub fn builder(space: FaultSpace, executor: &'a dyn Executor) -> CampaignBuilder<'a> {
+        CampaignBuilder::new(space, executor)
+    }
+
     /// Create a campaign over `space`, executing with `executor`. The
     /// canonical unit layout (every point × its target's workload suite) is
     /// fixed here; workload suites are queried once per target.
@@ -405,6 +525,27 @@ impl<'a> Campaign<'a> {
     /// workload suite.
     pub fn total_units(&self) -> usize {
         self.total_units
+    }
+
+    /// Number of canonical work units owned by `shard`: the units of its
+    /// round-robin slice of fault points. Shards partition [`Campaign::
+    /// total_units`]: summing over `0..count` gives the total exactly.
+    pub fn shard_units(&self, shard: ShardSpec) -> usize {
+        (0..self.space.len())
+            .filter(|&point| shard.owns_point(point))
+            .map(|point| self.point_units(point))
+            .sum()
+    }
+
+    /// Workload-suite size of one fault point (units between its base and
+    /// the next point's).
+    fn point_units(&self, point: usize) -> usize {
+        let next = self
+            .unit_base
+            .get(point + 1)
+            .copied()
+            .unwrap_or(self.total_units);
+        next - self.unit_base[point]
     }
 
     fn suite(&self, target: &str) -> &[Vec<String>] {
@@ -470,8 +611,15 @@ impl<'a> Campaign<'a> {
 
     /// Drain one batch of pending units on the worker pool and return the
     /// completed records, ordered by unit id. Spawns `min(jobs, pending)`
-    /// threads — zero when there is nothing to run.
-    fn drain(&self, pending: &[&WorkUnit]) -> (Vec<RunRecord>, usize) {
+    /// threads — zero when there is nothing to run. Workers stream
+    /// `UnitStarted` / `UnitFinished` / first-seen `CrashFound` events into
+    /// `sink` as they go.
+    fn drain(
+        &self,
+        pending: &[&WorkUnit],
+        sink: Option<&dyn EventSink>,
+        seen_signatures: &Mutex<BTreeSet<CrashSignature>>,
+    ) -> (Vec<RunRecord>, usize) {
         if pending.is_empty() {
             return (Vec::new(), 0);
         }
@@ -485,6 +633,14 @@ impl<'a> Campaign<'a> {
                     let Some(unit) = pending.get(next) else {
                         break;
                     };
+                    if let Some(sink) = sink {
+                        sink.event(&CampaignEvent::UnitStarted {
+                            unit: unit.id,
+                            target: unit.point.target.clone(),
+                            function: unit.point.function.clone(),
+                            offset: unit.point.offset,
+                        });
+                    }
                     let execution = self.run_unit(unit);
                     let record = RunRecord {
                         unit: unit.id,
@@ -498,6 +654,22 @@ impl<'a> Campaign<'a> {
                         crashes: execution.crashes,
                         virtual_time: execution.virtual_time,
                     };
+                    if let Some(sink) = sink {
+                        sink.event(&CampaignEvent::UnitFinished(record.clone()));
+                        // Announce each distinct signature once per run,
+                        // right after the unit that first exhibited it.
+                        // The seen-set lock is released before the sink is
+                        // invoked: a slow sink may delay its own worker,
+                        // but must not serialize the others through the
+                        // signature mutex.
+                        for signature in crash_signatures(&record) {
+                            let fresh_signature =
+                                seen_signatures.lock().unwrap().insert(signature.clone());
+                            if fresh_signature {
+                                sink.event(&CampaignEvent::CrashFound(signature));
+                            }
+                        }
+                    }
                     results.lock().unwrap().push(record);
                 });
             }
@@ -507,24 +679,53 @@ impl<'a> Campaign<'a> {
         (fresh, workers)
     }
 
-    /// Run the campaign: repeatedly request a batch from the strategy,
-    /// execute its units that `state` has not already completed, feed the
-    /// results back through the history, and stop when the strategy has
-    /// nothing new to schedule. Finally triage all accumulated records
-    /// (previous sessions included) into a report.
-    ///
-    /// `state` is updated in place; persist it with
-    /// [`CampaignState::to_json`] to make the campaign resumable.
-    pub fn run(&self, strategy: &dyn Strategy, state: &mut CampaignState) -> CampaignReport {
-        // The state tag covers the strategy's scheduling identity AND the
-        // plan (point identity incl. annotations + workload suites): unit
-        // ids are indices into this exact expansion, so a resume against
-        // anything else must start fresh.
-        let tag = format!("{}@{:016x}", strategy.fingerprint(), self.plan_hash());
+    /// The engine loop behind [`CampaignDriver`](crate::builder::
+    /// CampaignDriver) (and the deprecated [`Campaign::run`] shim):
+    /// repeatedly request a batch from the strategy, execute its units that
+    /// `state` has not already completed, feed the results back through the
+    /// history, and stop when the strategy has nothing new to schedule.
+    /// Fault points outside `shard` are pre-marked dispatched, confining
+    /// any strategy's schedule to the shard's round-robin slice. Progress
+    /// streams through `sink`, and `checkpoint` (when set) persists the
+    /// state after every batch.
+    pub(crate) fn run_driven(
+        &self,
+        strategy: &dyn Strategy,
+        state: &mut CampaignState,
+        shard: ShardSpec,
+        sink: Option<&dyn EventSink>,
+        checkpoint: Option<&Path>,
+    ) -> ShardOutcome {
+        // The state tag covers the strategy's scheduling identity, the plan
+        // (point identity incl. annotations + workload suites), AND the
+        // shard: unit ids are indices into this exact expansion and the
+        // record set is one shard's slice of it, so a resume against
+        // anything else — including the same plan under a different shard —
+        // must start fresh.
+        let tag = format!(
+            "{}@{:016x}#{}",
+            strategy.fingerprint(),
+            self.plan_hash(),
+            shard
+        );
         state.adopt(&tag, self.config.seed);
 
         let mut history = CampaignHistory::new(self.unit_base.clone(), self.total_units);
+        // Points owned by other shards are excluded up front: strategies
+        // see them as already dispatched and schedule around them, so the
+        // engine never has to second-guess a batch (a strategy that emits
+        // one point at a time still terminates correctly).
+        for point in 0..self.space.len() {
+            if !shard.owns_point(point) {
+                history.exclude_point(point);
+            }
+        }
+        let seen_signatures: Mutex<BTreeSet<CrashSignature>> = Mutex::new(BTreeSet::new());
         for record in state.records() {
+            seen_signatures
+                .lock()
+                .unwrap()
+                .extend(crash_signatures(record));
             history.observe(record.clone());
         }
 
@@ -547,16 +748,39 @@ impl<'a> Campaign<'a> {
             let units = self.units_for(&batch);
             history.begin_batch(&batch, units.len());
             let pending: Vec<&WorkUnit> = units.iter().filter(|u| !state.completed(u.id)).collect();
-            let (fresh, workers) = self.drain(&pending);
+            if let Some(sink) = sink {
+                sink.event(&CampaignEvent::BatchPlanned {
+                    batch: history.batches(),
+                    points: batch.len(),
+                    units: units.len(),
+                    pending: pending.len(),
+                });
+            }
+            let (fresh, workers) = self.drain(&pending, sink, &seen_signatures);
             peak_workers = peak_workers.max(workers);
-            executed_now += fresh.len();
+            let batch_executed = fresh.len();
+            executed_now += batch_executed;
             for record in fresh {
                 history.observe(record.clone());
                 state.push(record);
             }
+            // Persist only batches that added records: a fully-resumed
+            // batch has nothing new, and rewriting the file would briefly
+            // unseal an already-complete checkpoint on disk.
+            if let Some(path) = checkpoint.filter(|_| batch_executed > 0) {
+                write_checkpoint(path, state, sink);
+            }
         }
 
-        CampaignReport {
+        // The strategy has nothing left: seal the state so a merge step
+        // can tell this finished shard from a mid-run checkpoint of an
+        // interrupted one, and persist the sealed form.
+        state.mark_complete();
+        if let Some(path) = checkpoint {
+            write_checkpoint(path, state, sink);
+        }
+
+        let report = CampaignReport {
             strategy: strategy.name().to_string(),
             space_size: self.space.len(),
             planned_points: history.dispatched_points(),
@@ -566,7 +790,34 @@ impl<'a> Campaign<'a> {
             executed_now,
             triage: triage(state.records()),
             records: state.records().to_vec(),
+        };
+        if let Some(sink) = sink {
+            sink.event(&CampaignEvent::ShardFinished {
+                shard,
+                executed: executed_now,
+                records: report.records.len(),
+            });
         }
+        ShardOutcome {
+            shard,
+            tag,
+            seed: self.config.seed,
+            report,
+        }
+    }
+
+    /// Run the whole campaign to completion, blocking, unsharded, with no
+    /// event stream — the pre-builder API, kept for one release.
+    ///
+    /// `state` is updated in place; persist it with
+    /// [`CampaignState::to_json`] to make the campaign resumable.
+    #[deprecated(
+        note = "build a CampaignDriver instead: Campaign::builder(space, &executor)\
+                .strategy(...).build().run_with_state(&mut state)"
+    )]
+    pub fn run(&self, strategy: &dyn Strategy, state: &mut CampaignState) -> CampaignReport {
+        self.run_driven(strategy, state, ShardSpec::FULL, None, None)
+            .report
     }
 }
 
@@ -574,8 +825,6 @@ impl<'a> Campaign<'a> {
 mod tests {
     use std::collections::BTreeMap;
     use std::sync::atomic::AtomicUsize;
-
-    use crate::strategy::Exhaustive;
 
     use super::*;
 
@@ -710,30 +959,20 @@ mod tests {
     #[test]
     fn parallel_runs_match_serial_runs() {
         let serial_exec = FakeExecutor::new();
-        let campaign = Campaign::new(
-            demo_space(9),
-            &serial_exec,
-            CampaignConfig {
-                jobs: 1,
-                seed: 7,
-                ..CampaignConfig::default()
-            },
-        );
-        let mut serial_state = CampaignState::default();
-        let serial = campaign.run(&Exhaustive, &mut serial_state);
+        let serial = Campaign::builder(demo_space(9), &serial_exec)
+            .jobs(1)
+            .seed(7)
+            .build()
+            .run_to_completion()
+            .report;
 
         let parallel_exec = FakeExecutor::new();
-        let campaign = Campaign::new(
-            demo_space(9),
-            &parallel_exec,
-            CampaignConfig {
-                jobs: 4,
-                seed: 7,
-                ..CampaignConfig::default()
-            },
-        );
-        let mut parallel_state = CampaignState::default();
-        let parallel = campaign.run(&Exhaustive, &mut parallel_state);
+        let parallel = Campaign::builder(demo_space(9), &parallel_exec)
+            .jobs(4)
+            .seed(7)
+            .build()
+            .run_to_completion()
+            .report;
 
         assert_eq!(serial.records, parallel.records);
         assert_eq!(serial.triage.buckets.len(), parallel.triage.buckets.len());
@@ -791,31 +1030,27 @@ mod tests {
             inside: std::sync::Mutex::new(0),
             all_in: std::sync::Condvar::new(),
         };
-        let campaign = Campaign::new(
-            demo_space(4),
-            &executor,
-            CampaignConfig {
-                jobs: 4,
-                seed: 7,
-                ..CampaignConfig::default()
-            },
-        );
-        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+        let report = Campaign::builder(demo_space(4), &executor)
+            .jobs(4)
+            .seed(7)
+            .build()
+            .run_to_completion()
+            .report;
         assert_eq!(report.executed_now, 4);
     }
 
     #[test]
     fn resumed_campaigns_skip_completed_units() {
         let executor = FakeExecutor::new();
-        let campaign = Campaign::new(demo_space(4), &executor, CampaignConfig::default());
+        let driver = Campaign::builder(demo_space(4), &executor).build();
         let mut state = CampaignState::default();
-        let first = campaign.run(&Exhaustive, &mut state);
+        let first = driver.run_with_state(&mut state).report;
         assert_eq!(first.executed_now, 8);
         assert_eq!(first.batches, 1, "exhaustive is a single-batch schedule");
 
         // Round-trip the state through JSON, then run again: nothing left.
         let mut resumed = CampaignState::from_json(&state.to_json()).unwrap();
-        let second = campaign.run(&Exhaustive, &mut resumed);
+        let second = driver.run_with_state(&mut resumed).report;
         assert_eq!(second.executed_now, 0, "all units already completed");
         assert_eq!(second.records, first.records);
         assert_eq!(executor.executions.load(Ordering::Relaxed), 8);
@@ -824,14 +1059,17 @@ mod tests {
     #[test]
     fn resuming_against_a_different_fault_space_starts_fresh() {
         let executor = FakeExecutor::new();
-        let campaign = Campaign::new(demo_space(3), &executor, CampaignConfig::default());
         let mut state = CampaignState::default();
-        campaign.run(&Exhaustive, &mut state);
+        Campaign::builder(demo_space(3), &executor)
+            .build()
+            .run_with_state(&mut state);
 
         // Same strategy and seed, but the space grew: the stale unit ids
         // must be discarded, not misapplied.
-        let grown = Campaign::new(demo_space(4), &executor, CampaignConfig::default());
-        let report = grown.run(&Exhaustive, &mut state);
+        let report = Campaign::builder(demo_space(4), &executor)
+            .build()
+            .run_with_state(&mut state)
+            .report;
         assert_eq!(report.executed_now, 8, "all units of the new plan re-ran");
         assert_eq!(report.records.len(), 8);
     }
@@ -858,12 +1096,17 @@ mod tests {
     #[test]
     fn batched_schedules_produce_the_same_records_as_single_batch_ones() {
         let exhaustive_exec = FakeExecutor::new();
-        let campaign = Campaign::new(demo_space(5), &exhaustive_exec, CampaignConfig::default());
-        let forward = campaign.run(&Exhaustive, &mut CampaignState::default());
+        let forward = Campaign::builder(demo_space(5), &exhaustive_exec)
+            .build()
+            .run_to_completion()
+            .report;
 
         let reverse_exec = FakeExecutor::new();
-        let campaign = Campaign::new(demo_space(5), &reverse_exec, CampaignConfig::default());
-        let reverse = campaign.run(&ReverseOneByOne, &mut CampaignState::default());
+        let reverse = Campaign::builder(demo_space(5), &reverse_exec)
+            .strategy(ReverseOneByOne)
+            .build()
+            .run_to_completion()
+            .report;
 
         // Same units, same ids, same outcomes — only the schedule differed.
         assert_eq!(forward.records, reverse.records);
@@ -893,8 +1136,11 @@ mod tests {
     #[test]
     fn re_emitted_points_are_dispatched_at_most_once() {
         let executor = FakeExecutor::new();
-        let campaign = Campaign::new(demo_space(3), &executor, CampaignConfig::default());
-        let report = campaign.run(&Stubborn, &mut CampaignState::default());
+        let report = Campaign::builder(demo_space(3), &executor)
+            .strategy(Stubborn)
+            .build()
+            .run_to_completion()
+            .report;
         assert_eq!(report.executed_now, 6, "3 points x 2 workloads, once each");
         assert_eq!(report.planned_points, 3);
         assert_eq!(executor.executions.load(Ordering::Relaxed), 6);
@@ -951,24 +1197,20 @@ mod tests {
         }
     }
 
-    fn snapshot_config(jobs: usize) -> CampaignConfig {
-        CampaignConfig {
-            jobs,
-            seed: 7,
-            backend: ExecBackend::Snapshot,
-        }
-    }
-
     #[test]
     fn snapshot_backend_prepares_once_per_target_and_workload() {
         let executor = SessionExecutor::new(true);
-        let campaign = Campaign::new(demo_space(9), &executor, snapshot_config(4));
-        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+        let driver = Campaign::builder(demo_space(9), &executor)
+            .backend(ExecBackend::Snapshot)
+            .jobs(4)
+            .seed(7)
+            .build();
+        let report = driver.run_to_completion().report;
         assert_eq!(report.executed_now, 18, "9 points x 2 workloads");
         // One target, two workloads: exactly two sessions, however many
         // workers raced to prepare them.
         assert_eq!(executor.prepares.load(Ordering::Relaxed), 2);
-        assert_eq!(campaign.prepared_sessions(), 2);
+        assert_eq!(driver.campaign().prepared_sessions(), 2);
         // Every unit ran through its session fork, none through execute's
         // session-path counter... (execute is also the fork's delegate here,
         // so count forks explicitly).
@@ -978,12 +1220,19 @@ mod tests {
     #[test]
     fn snapshot_backend_matches_fresh_backend_records() {
         let fresh_exec = FakeExecutor::new();
-        let campaign = Campaign::new(demo_space(7), &fresh_exec, CampaignConfig::default());
-        let fresh = campaign.run(&Exhaustive, &mut CampaignState::default());
+        let fresh = Campaign::builder(demo_space(7), &fresh_exec)
+            .build()
+            .run_to_completion()
+            .report;
 
         let session_exec = SessionExecutor::new(true);
-        let campaign = Campaign::new(demo_space(7), &session_exec, snapshot_config(3));
-        let snapshot = campaign.run(&Exhaustive, &mut CampaignState::default());
+        let snapshot = Campaign::builder(demo_space(7), &session_exec)
+            .backend(ExecBackend::Snapshot)
+            .jobs(3)
+            .seed(7)
+            .build()
+            .run_to_completion()
+            .report;
 
         assert_eq!(fresh.records, snapshot.records);
         assert_eq!(fresh.triage.buckets, snapshot.triage.buckets);
@@ -992,14 +1241,43 @@ mod tests {
     #[test]
     fn unsnapshottable_targets_fall_back_to_fresh_execution() {
         let executor = SessionExecutor::new(false);
-        let campaign = Campaign::new(demo_space(4), &executor, snapshot_config(2));
-        let report = campaign.run(&Exhaustive, &mut CampaignState::default());
+        let driver = Campaign::builder(demo_space(4), &executor)
+            .backend(ExecBackend::Snapshot)
+            .jobs(2)
+            .seed(7)
+            .build();
+        let report = driver.run_to_completion().report;
         assert_eq!(report.executed_now, 8);
         assert_eq!(executor.forked.load(Ordering::Relaxed), 0, "no sessions");
-        assert_eq!(campaign.prepared_sessions(), 0);
+        assert_eq!(driver.campaign().prepared_sessions(), 0);
         // `prepare` was consulted once per (target, workload) — one target
         // with two workloads — not once per unit: the None outcome is
         // cached too.
         assert_eq!(executor.prepares.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn backend_names_round_trip_through_display_and_from_str() {
+        for backend in [ExecBackend::Fresh, ExecBackend::Snapshot] {
+            let name = backend.to_string();
+            assert_eq!(name.parse::<ExecBackend>().unwrap(), backend);
+        }
+        let err = "qemu".parse::<ExecBackend>().unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("qemu") && message.contains("fresh") && message.contains("snapshot"),
+            "error names the rejected value and the accepted ones: {message}"
+        );
+    }
+
+    /// The payload round-trips by value through `Session::downcast`, and a
+    /// type mismatch yields `None` instead of panicking.
+    #[test]
+    fn sessions_downcast_by_value() {
+        let session = Session::new(vec![1u64, 2, 3]);
+        assert!(session.downcast_ref::<Vec<u64>>().is_some());
+        assert_eq!(session.downcast::<Vec<u64>>(), Some(vec![1u64, 2, 3]));
+        let session = Session::new("payload".to_string());
+        assert_eq!(session.downcast::<u32>(), None);
     }
 }

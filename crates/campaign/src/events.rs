@@ -1,0 +1,172 @@
+//! Typed campaign progress events, streamed through an [`EventSink`].
+//!
+//! A [`CampaignDriver`](crate::builder::CampaignDriver) with a registered
+//! sink emits [`CampaignEvent`]s *while the campaign runs* — this is what
+//! progress bars, the bench harness, and cross-machine supervisors consume
+//! instead of scraping the final [`CampaignReport`](crate::CampaignReport)
+//! after the fact.
+//!
+//! ## Ordering guarantees
+//!
+//! * [`BatchPlanned`](CampaignEvent::BatchPlanned) precedes every event of
+//!   its batch's units.
+//! * Each unit's [`UnitStarted`](CampaignEvent::UnitStarted) precedes its
+//!   [`UnitFinished`](CampaignEvent::UnitFinished); a
+//!   [`CrashFound`](CampaignEvent::CrashFound) follows the `UnitFinished`
+//!   that first exhibited the signature, and each distinct signature is
+//!   announced at most once per run (signatures already present in a
+//!   resumed checkpoint are not re-announced).
+//! * [`CheckpointWritten`](CampaignEvent::CheckpointWritten) follows the
+//!   batch whose records it persisted; one final write seals the finished
+//!   (complete) state after the last batch.
+//! * [`ShardFinished`](CampaignEvent::ShardFinished) is the last event of
+//!   a run.
+//!
+//! Units of one batch drain on a parallel worker pool, so the per-unit
+//! events of *different* units interleave arbitrarily. Sinks are invoked
+//! from worker threads and must therefore be `Sync`; any
+//! `Fn(&CampaignEvent) + Sync` closure is a sink, and [`EventLog`] is a
+//! ready-made collecting sink.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::engine::RunRecord;
+use crate::shard::ShardSpec;
+use crate::triage::CrashSignature;
+
+/// One progress event of a running campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignEvent {
+    /// The strategy scheduled a new batch (after dispatch/shard filtering).
+    BatchPlanned {
+        /// 1-based batch number within this run.
+        batch: usize,
+        /// Fault points in the batch.
+        points: usize,
+        /// Work units the batch expands into.
+        units: usize,
+        /// Units that will actually execute (not already completed by a
+        /// resumed checkpoint).
+        pending: usize,
+    },
+    /// A worker began executing a unit.
+    UnitStarted {
+        /// Canonical unit id.
+        unit: usize,
+        /// Target program.
+        target: String,
+        /// Injected library function.
+        function: String,
+        /// Fault-point call-site offset.
+        offset: u64,
+    },
+    /// A unit finished; the record is exactly what the report will carry.
+    UnitFinished(RunRecord),
+    /// A crash signature was observed for the first time this run.
+    CrashFound(CrashSignature),
+    /// The driver persisted the campaign state to its checkpoint path.
+    CheckpointWritten {
+        /// Where the state was written.
+        path: PathBuf,
+        /// Completed units the checkpoint now covers.
+        completed: usize,
+    },
+    /// The run is over; no further events follow.
+    ShardFinished {
+        /// Which slice finished ([`ShardSpec::FULL`] for unsharded runs).
+        shard: ShardSpec,
+        /// Units executed in this session (excludes resumed ones).
+        executed: usize,
+        /// Total records the shard now holds, resumed ones included.
+        records: usize,
+    },
+}
+
+/// A consumer of campaign progress events.
+///
+/// Sinks are called from the driver thread *and* from worker threads, so
+/// implementations must be thread-safe. Sinks should return quickly — a
+/// slow sink backpressures the worker pool.
+pub trait EventSink: Sync {
+    /// Receive one event.
+    fn event(&self, event: &CampaignEvent);
+}
+
+/// Any `Sync` closure is a sink.
+impl<F: Fn(&CampaignEvent) + Sync> EventSink for F {
+    fn event(&self, event: &CampaignEvent) {
+        self(event)
+    }
+}
+
+/// A sink that records every event, in arrival order — for tests, tools
+/// that post-process a run, and debugging.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<CampaignEvent>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// A snapshot of every event received so far.
+    pub fn events(&self) -> Vec<CampaignEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count(&self, matches: impl Fn(&CampaignEvent) -> bool) -> usize {
+        self.events
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|e| matches(e))
+            .count()
+    }
+}
+
+impl EventSink for EventLog {
+    fn event(&self, event: &CampaignEvent) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_and_logs_are_sinks() {
+        let log = EventLog::new();
+        let event = CampaignEvent::BatchPlanned {
+            batch: 1,
+            points: 2,
+            units: 4,
+            pending: 4,
+        };
+        log.event(&event);
+        log.event(&CampaignEvent::ShardFinished {
+            shard: ShardSpec::FULL,
+            executed: 4,
+            records: 4,
+        });
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0], event);
+        assert_eq!(
+            log.count(|e| matches!(e, CampaignEvent::BatchPlanned { .. })),
+            1
+        );
+
+        let seen = Mutex::new(0usize);
+        let closure_sink = |_: &CampaignEvent| {
+            *seen.lock().unwrap() += 1;
+        };
+        let sink: &dyn EventSink = &closure_sink;
+        sink.event(&event);
+        assert_eq!(*seen.lock().unwrap(), 1);
+    }
+}

@@ -101,6 +101,17 @@ impl CampaignHistory {
             .filter(move |r| self.point_of_unit(r.unit) == Some(point))
     }
 
+    /// Mark a fault point as off-limits for this run *without* counting it
+    /// as planned work — how the engine confines a sharded run: points
+    /// owned by other shards are excluded up front, so strategies treat
+    /// them as already explored while the dispatch/planned counters keep
+    /// reflecting only this shard's slice.
+    pub(crate) fn exclude_point(&mut self, point: usize) {
+        if let Some(slot) = self.dispatched.get_mut(point) {
+            *slot = true;
+        }
+    }
+
     pub(crate) fn begin_batch(&mut self, points: &[usize], units: usize) {
         for &point in points {
             if !self.dispatched[point] {

@@ -30,16 +30,25 @@
 //! * [`triage`] — deduplicate failures into crash signatures, so the report
 //!   lists bugs, not runs;
 //! * [`state`] — persist completed units as JSON and resume interrupted
-//!   campaigns; state is tagged `fingerprint@plan-hash`, so re-annotating,
-//!   re-profiling, or editing a workload suite invalidates a checkpoint
-//!   instead of misapplying it;
+//!   campaigns; state is tagged `fingerprint@plan-hash#shard`, so
+//!   re-annotating, re-profiling, editing a workload suite, or changing
+//!   the shard spec invalidates a checkpoint instead of misapplying it;
+//! * [`builder`] — the fluent [`CampaignBuilder`] → [`CampaignDriver`]
+//!   orchestration API: strategy, backend, jobs, seed, shard, event sink,
+//!   and per-batch checkpointing in one chain;
+//! * [`shard`] — [`ShardSpec`] splits one campaign across processes or
+//!   machines (round-robin over fault points; shard identity is part of
+//!   the checkpoint tag), and [`CampaignReport::merge`] recombines the
+//!   per-shard [`ShardOutcome`]s into a report record- and
+//!   triage-identical to the unsharded run;
+//! * [`events`] — typed [`CampaignEvent`]s streamed through an
+//!   [`EventSink`] while the campaign runs, for progress bars, bench
+//!   harnesses, and cross-machine supervisors;
 //! * [`standard`] — a ready-made [`Executor`] for the stock `*-lite`
 //!   evaluation targets.
 //!
 //! ```
-//! use lfi_campaign::{
-//!     Campaign, CampaignConfig, CampaignState, CoverageAdaptive, StandardExecutor,
-//! };
+//! use lfi_campaign::{Campaign, CoverageAdaptive, StandardExecutor};
 //! use lfi_targets::standard_controller;
 //!
 //! let executor = StandardExecutor::new(&["git-lite"]);
@@ -48,22 +57,20 @@
 //! space.retain(|p| p.function == "opendir");
 //! executor.annotate_baseline_reachability(&mut space, 7);
 //!
-//! let campaign = Campaign::new(
-//!     space,
-//!     &executor,
-//!     CampaignConfig {
-//!         jobs: 2,
-//!         ..CampaignConfig::default()
-//!     },
-//! );
-//! let mut state = CampaignState::default();
-//! let report = campaign.run(&CoverageAdaptive::default(), &mut state);
-//! assert!(report.triage.distinct_crashes() > 0); // the git-readdir-null bug
+//! let driver = Campaign::builder(space, &executor)
+//!     .strategy(CoverageAdaptive::default())
+//!     .jobs(2)
+//!     .build();
+//! let outcome = driver.run_to_completion();
+//! assert!(outcome.report.triage.distinct_crashes() > 0); // the git-readdir-null bug
 //! ```
 
 pub mod adaptive;
+pub mod builder;
 pub mod engine;
+pub mod events;
 pub mod history;
+pub mod shard;
 pub mod space;
 pub mod standard;
 pub mod state;
@@ -71,11 +78,14 @@ pub mod strategy;
 pub mod triage;
 
 pub use adaptive::CoverageAdaptive;
+pub use builder::{CampaignBuilder, CampaignDriver};
 pub use engine::{
     derive_seed, Campaign, CampaignConfig, CrashInfo, ExecBackend, Execution, Executor,
-    InjectedSite, OutcomeKind, RunRecord, Session, WorkUnit,
+    InjectedSite, OutcomeKind, ParseBackendError, RunRecord, Session, WorkUnit,
 };
+pub use events::{CampaignEvent, EventLog, EventSink};
 pub use history::CampaignHistory;
+pub use shard::{ShardMergeError, ShardOutcome, ShardSpec, ShardSpecError};
 pub use space::{FaultPoint, FaultSpace};
 pub use standard::{default_test_suite, run_target, StandardExecutor, STOCK_TARGETS};
 pub use state::CampaignState;

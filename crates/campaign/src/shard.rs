@@ -1,0 +1,361 @@
+//! Deterministic fault-space sharding: split one campaign across
+//! processes (or machines) and merge the partial results back together.
+//!
+//! A [`ShardSpec`] names one slice of a campaign: shard `index` of `count`.
+//! The partition is **round-robin over fault points** — point `p` belongs
+//! to shard `p % count` — so every work unit of a fault point (its
+//! workload siblings) lands on the same shard, and the partition depends
+//! only on canonical point indices, never on scheduling, worker count, or
+//! backend. The union of the shards' unit sets is exactly the unsharded
+//! unit set, with no overlap.
+//!
+//! Shard identity is folded into the checkpoint tag
+//! (`fingerprint@plan-hash#index/count`), so a shard checkpoint can never
+//! be resumed by the wrong shard or by the unsharded run — resuming under
+//! a different shard spec starts fresh, exactly like any other plan
+//! change.
+//!
+//! A finished shard is a [`ShardOutcome`]: its run records, triage slice,
+//! and plan tag. [`CampaignReport::merge`] recombines a complete set of
+//! outcomes into a report whose records and triage are byte-identical to
+//! the equivalent unsharded run. Outcomes can also be reconstructed from
+//! persisted [`CampaignState`] files ([`ShardOutcome::from_state`]), which
+//! is how separate shard processes hand their results to a merge step.
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::state::CampaignState;
+use crate::triage::{triage, CampaignReport};
+
+/// One slice of a sharded campaign: shard `index` of `count`.
+///
+/// The unsharded campaign is the full shard `0/1` ([`ShardSpec::FULL`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardSpec {
+    /// This shard's position, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards the campaign is split into.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The whole campaign as a single shard (`0/1`).
+    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// A validated shard spec: `count` must be at least 1 and `index` must
+    /// be below `count`.
+    pub fn new(index: usize, count: usize) -> Result<ShardSpec, ShardSpecError> {
+        let spec = ShardSpec { index, count };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Check the `index < count`, `count >= 1` invariants.
+    pub fn validate(&self) -> Result<(), ShardSpecError> {
+        if self.count == 0 {
+            return Err(ShardSpecError("shard count must be at least 1".to_string()));
+        }
+        if self.index >= self.count {
+            return Err(ShardSpecError(format!(
+                "shard index {} out of range for count {} (expected 0..{})",
+                self.index, self.count, self.count
+            )));
+        }
+        Ok(())
+    }
+
+    /// Whether this is the unsharded campaign (`count == 1`).
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns the fault point at canonical index `point`.
+    /// Round-robin over points: every unit of a point follows the point.
+    ///
+    /// # Panics
+    ///
+    /// Panics (division by zero) on an unvalidated `count == 0` spec.
+    /// Specs from [`ShardSpec::new`], `str::parse`, or
+    /// [`CampaignBuilder::build`](crate::builder::CampaignBuilder::build)
+    /// can never be in that state; hand-built struct literals should be
+    /// [`validate`](ShardSpec::validate)d first.
+    pub fn owns_point(&self, point: usize) -> bool {
+        point % self.count == self.index
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec::FULL
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Why a shard spec failed to parse or validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpecError(String);
+
+impl fmt::Display for ShardSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for ShardSpecError {}
+
+impl FromStr for ShardSpec {
+    type Err = ShardSpecError;
+
+    /// Parse the `index/count` form used by `--shard` flags and checkpoint
+    /// tags, e.g. `0/2`.
+    fn from_str(s: &str) -> Result<ShardSpec, ShardSpecError> {
+        let invalid = || {
+            ShardSpecError(format!(
+                "invalid shard `{s}` (expected `index/count`, e.g. `0/2`)"
+            ))
+        };
+        let (index, count) = s.split_once('/').ok_or_else(invalid)?;
+        let index: usize = index.trim().parse().map_err(|_| invalid())?;
+        let count: usize = count.trim().parse().map_err(|_| invalid())?;
+        ShardSpec::new(index, count)
+    }
+}
+
+/// The finished result of one shard: everything a merge step needs to
+/// recombine the campaign, and everything a supervisor needs to account
+/// for the slice.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// Which slice this is.
+    pub shard: ShardSpec,
+    /// The full checkpoint tag the shard ran under
+    /// (`fingerprint@plan-hash#index/count`). Two outcomes merge only when
+    /// everything before the `#` agrees — same strategy fingerprint, same
+    /// space, same workload suites.
+    pub tag: String,
+    /// The campaign seed the shard's unit seeds were derived from.
+    pub seed: u64,
+    /// The shard's own report: its records, its triage slice, and its
+    /// scheduling counters.
+    pub report: CampaignReport,
+}
+
+impl ShardOutcome {
+    /// The plan identity shared by every shard of one campaign: the tag
+    /// with the `#index/count` suffix stripped.
+    pub fn plan_tag(&self) -> &str {
+        self.tag
+            .rsplit_once('#')
+            .map_or(&*self.tag, |(base, _)| base)
+    }
+
+    /// Reconstruct a shard outcome from a persisted [`CampaignState`] — the
+    /// cross-process handoff: each shard process checkpoints its state to a
+    /// file, and the merge step parses the files back into outcomes.
+    ///
+    /// Only what the state persists can be recovered: the records, the
+    /// triage derived from them, and the tag/seed identity (including the
+    /// strategy fingerprint, recovered from the tag). Scheduling counters
+    /// that are not checkpointed (`batches`, `peak_workers`,
+    /// `executed_now`, `space_size`, `planned_points`) are zero, and
+    /// `units_total` is the record count.
+    ///
+    /// A state whose run did not finish its schedule — a mid-run
+    /// checkpoint of an interrupted shard — is rejected: merging it would
+    /// present an incomplete hunt as the full result. Resume the shard to
+    /// completion first.
+    pub fn from_state(state: &CampaignState) -> Result<ShardOutcome, ShardMergeError> {
+        let tag = state.tag().to_string();
+        let Some((plan, suffix)) = tag.rsplit_once('#') else {
+            return Err(ShardMergeError::UntaggedState(tag));
+        };
+        let strategy = plan.split_once('@').map_or(plan, |(fp, _)| fp).to_string();
+        let shard: ShardSpec = suffix
+            .parse()
+            .map_err(|err: ShardSpecError| ShardMergeError::BadShardTag(tag.clone(), err))?;
+        if !state.is_complete() {
+            return Err(ShardMergeError::IncompleteShardState(shard));
+        }
+        let records = state.records().to_vec();
+        Ok(ShardOutcome {
+            shard,
+            tag,
+            seed: state.seed(),
+            report: CampaignReport {
+                strategy,
+                space_size: 0,
+                planned_points: 0,
+                units_total: records.len(),
+                batches: 0,
+                peak_workers: 0,
+                executed_now: 0,
+                triage: triage(&records),
+                records,
+            },
+        })
+    }
+}
+
+/// Why a set of shard outcomes could not be merged into one report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMergeError {
+    /// No outcomes were supplied.
+    Empty,
+    /// A persisted state carries no `#index/count` shard suffix (it was
+    /// not produced by a sharded-aware campaign run).
+    UntaggedState(String),
+    /// A persisted state's shard suffix failed to parse.
+    BadShardTag(String, ShardSpecError),
+    /// An outcome carries a shard spec violating `index < count`
+    /// (possible only for hand-built outcomes — validated specs cannot).
+    InvalidShard(ShardSpec, ShardSpecError),
+    /// A persisted state is a mid-run checkpoint of an interrupted shard,
+    /// not a finished one — merging it would present an incomplete hunt
+    /// as the full result.
+    IncompleteShardState(ShardSpec),
+    /// Two outcomes ran different plans (strategy fingerprint, space, or
+    /// workload suites differ).
+    MixedPlans(String, String),
+    /// Two outcomes ran under different campaign seeds.
+    MixedSeeds(u64, u64),
+    /// Two outcomes disagree about the total shard count.
+    MixedCounts(usize, usize),
+    /// The same shard appears twice.
+    DuplicateShard(ShardSpec),
+    /// The outcomes do not cover every shard index of the count.
+    IncompleteShards {
+        /// Distinct shard indices present.
+        have: usize,
+        /// Shard count every index below which must be present.
+        count: usize,
+    },
+    /// Two outcomes both recorded the same canonical unit — the partition
+    /// was violated.
+    DuplicateUnit(usize),
+}
+
+impl fmt::Display for ShardMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardMergeError::Empty => write!(f, "no shard outcomes to merge"),
+            ShardMergeError::UntaggedState(tag) => write!(
+                f,
+                "campaign state tag `{tag}` carries no shard suffix (`#index/count`)"
+            ),
+            ShardMergeError::BadShardTag(tag, err) => {
+                write!(
+                    f,
+                    "campaign state tag `{tag}` has a malformed shard suffix: {err}"
+                )
+            }
+            ShardMergeError::InvalidShard(shard, err) => {
+                write!(f, "outcome carries invalid shard {shard}: {err}")
+            }
+            ShardMergeError::IncompleteShardState(shard) => write!(
+                f,
+                "shard {shard}'s state is a mid-run checkpoint (its run was interrupted); \
+                 resume the shard to completion before merging"
+            ),
+            ShardMergeError::MixedPlans(a, b) => write!(
+                f,
+                "shards ran different plans: `{a}` vs `{b}` (strategy, space, or suites differ)"
+            ),
+            ShardMergeError::MixedSeeds(a, b) => {
+                write!(f, "shards ran under different campaign seeds: {a} vs {b}")
+            }
+            ShardMergeError::MixedCounts(a, b) => {
+                write!(f, "shards disagree about the shard count: {a} vs {b}")
+            }
+            ShardMergeError::DuplicateShard(shard) => {
+                write!(f, "shard {shard} appears more than once")
+            }
+            ShardMergeError::IncompleteShards { have, count } => write!(
+                f,
+                "only {have} of {count} shards present; every index 0..{count} must be merged"
+            ),
+            ShardMergeError::DuplicateUnit(unit) => write!(
+                f,
+                "unit {unit} was recorded by more than one shard (partition violated)"
+            ),
+        }
+    }
+}
+
+impl Error for ShardMergeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_assigns_each_point_to_exactly_one_shard() {
+        for count in 1..=8usize {
+            let shards: Vec<ShardSpec> = (0..count)
+                .map(|index| ShardSpec::new(index, count).unwrap())
+                .collect();
+            for point in 0..100 {
+                let owners = shards.iter().filter(|s| s.owns_point(point)).count();
+                assert_eq!(owners, 1, "point {point} under count {count}");
+            }
+        }
+    }
+
+    #[test]
+    fn spec_parses_and_displays_the_cli_form() {
+        let spec: ShardSpec = "1/4".parse().unwrap();
+        assert_eq!(spec, ShardSpec { index: 1, count: 4 });
+        assert_eq!(spec.to_string(), "1/4");
+        assert!(!spec.is_full());
+        assert!(ShardSpec::FULL.is_full());
+        assert_eq!("0/1".parse::<ShardSpec>().unwrap(), ShardSpec::FULL);
+
+        for bad in ["", "1", "a/b", "1/", "/2", "2/2", "0/0", "1/0"] {
+            assert!(bad.parse::<ShardSpec>().is_err(), "`{bad}` must not parse");
+        }
+        // The error for an out-of-range index names the valid range.
+        let err = "3/2".parse::<ShardSpec>().unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn mid_run_checkpoints_are_rejected_by_from_state() {
+        let mut state = CampaignState::default();
+        state.adopt("exhaustive@0000000000000000#0/2", 7);
+        // No completion seal: this is what a per-batch checkpoint of an
+        // interrupted run looks like after its JSON round-trip.
+        let state = CampaignState::from_json(&state.to_json()).unwrap();
+        assert!(!state.is_complete());
+        assert_eq!(
+            ShardOutcome::from_state(&state).unwrap_err(),
+            ShardMergeError::IncompleteShardState(ShardSpec { index: 0, count: 2 })
+        );
+    }
+
+    #[test]
+    fn plan_tag_strips_the_shard_suffix() {
+        let outcome = ShardOutcome {
+            shard: ShardSpec { index: 1, count: 2 },
+            tag: "guided@00000000deadbeef#1/2".to_string(),
+            seed: 7,
+            report: CampaignReport {
+                strategy: "guided".to_string(),
+                space_size: 0,
+                planned_points: 0,
+                units_total: 0,
+                batches: 0,
+                peak_workers: 0,
+                executed_now: 0,
+                triage: Default::default(),
+                records: Vec::new(),
+            },
+        };
+        assert_eq!(outcome.plan_tag(), "guided@00000000deadbeef");
+    }
+}

@@ -184,15 +184,18 @@ impl FaultSpace {
         hash
     }
 
-    /// The distinct target names present in the space, in first-seen order.
+    /// The distinct target names present in the space, **sorted and
+    /// deduplicated**.
+    ///
+    /// The ordering is a guarantee, not an accident: consumers that derive
+    /// identity or partitions from the target list (baseline-reachability
+    /// annotation order, shard bookkeeping, plan digests) must see the
+    /// same list however the points were inserted, so this never reflects
+    /// insertion order.
     pub fn targets(&self) -> Vec<String> {
-        let mut names: Vec<String> = Vec::new();
-        for point in &self.points {
-            if !names.contains(&point.target) {
-                names.push(point.target.clone());
-            }
-        }
-        names
+        let names: std::collections::BTreeSet<&str> =
+            self.points.iter().map(|p| p.target.as_str()).collect();
+        names.into_iter().map(str::to_string).collect()
     }
 }
 
@@ -260,6 +263,35 @@ mod tests {
         // An empty baseline marks every point unreached.
         space.annotate_reached("demo", &Coverage::new());
         assert!(space.points.iter().all(|p| p.reached == Some(false)));
+    }
+
+    #[test]
+    fn targets_are_sorted_and_deduplicated_regardless_of_insertion_order() {
+        let point = |target: &str| FaultPoint {
+            target: target.to_string(),
+            function: "read".into(),
+            offset: 0,
+            caller: None,
+            retval: -1,
+            errno: None,
+            class: None,
+            reached: None,
+        };
+        let space = FaultSpace {
+            points: vec![
+                point("zeta"),
+                point("alpha"),
+                point("zeta"),
+                point("mid"),
+                point("alpha"),
+            ],
+        };
+        assert_eq!(space.targets(), vec!["alpha", "mid", "zeta"]);
+
+        // Insertion order must not leak into the list.
+        let mut reversed = space.clone();
+        reversed.points.reverse();
+        assert_eq!(space.targets(), reversed.targets());
     }
 
     #[test]

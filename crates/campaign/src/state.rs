@@ -3,15 +3,17 @@
 //! Long campaigns survive interruption by checkpointing every completed run
 //! record. A resumed campaign skips completed units and re-triages the full
 //! record set, so killing a sweep halfway loses only in-flight units. The
-//! state is tagged `fingerprint@plan-hash` — the strategy *fingerprint*
-//! (name plus any schedule-affecting parameters, e.g. a sample size and
-//! seed) combined with the engine's plan hash over full fault-point
-//! identity (error cases and annotations included) and every target's
-//! workload suite — plus the campaign seed. Adopting a state recorded under
-//! a different tag or seed discards it, because unit ids are only
-//! meaningful within one plan: a checkpoint taken under one annotation set
-//! or test suite must start fresh rather than attribute records to the
-//! wrong units.
+//! state is tagged `fingerprint@plan-hash#shard` — the strategy
+//! *fingerprint* (name plus any schedule-affecting parameters, e.g. a
+//! sample size and seed) combined with the engine's plan hash over full
+//! fault-point identity (error cases and annotations included) and every
+//! target's workload suite, and the run's
+//! [`ShardSpec`](crate::shard::ShardSpec) — plus the campaign seed.
+//! Adopting a state recorded under a different tag or seed discards it,
+//! because unit ids are only meaningful within one plan and a record set
+//! is one shard's slice of it: a checkpoint taken under one annotation
+//! set, test suite, or shard must start fresh rather than attribute
+//! records to the wrong units (or hand one shard's records to another).
 
 use std::collections::BTreeSet;
 
@@ -26,6 +28,12 @@ pub struct CampaignState {
     seed: u64,
     records: Vec<RunRecord>,
     completed: BTreeSet<usize>,
+    /// Whether the run that last wrote this state finished its whole
+    /// schedule. Mid-run (per-batch) checkpoints persist `false`; the
+    /// engine seals the state `true` only when the strategy had nothing
+    /// left to schedule — so a merge step can tell a finished shard from
+    /// an interrupted one.
+    complete: bool,
 }
 
 impl CampaignState {
@@ -40,12 +48,34 @@ impl CampaignState {
             self.strategy = tag.to_string();
             self.seed = seed;
         }
+        // Whatever the state's history, the run now starting is not
+        // finished: mid-run checkpoints must read as incomplete until the
+        // engine seals the schedule again.
+        self.complete = false;
     }
 
-    /// The `fingerprint@plan-hash` tag this state is bound to (empty until
-    /// first adopted).
+    /// Whether the run that last wrote this state finished its whole
+    /// schedule (false for mid-run checkpoints of an interrupted run).
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Seal the state: the schedule is drained. Called by the engine when
+    /// the strategy has nothing left to dispatch.
+    pub(crate) fn mark_complete(&mut self) {
+        self.complete = true;
+    }
+
+    /// The `fingerprint@plan-hash#shard` tag this state is bound to (empty
+    /// until first adopted).
     pub fn tag(&self) -> &str {
         &self.strategy
+    }
+
+    /// The campaign seed this state was recorded under (0 until first
+    /// adopted).
+    pub fn seed(&self) -> u64 {
+        self.seed
     }
 
     /// Whether a unit has already been executed.
@@ -71,6 +101,7 @@ impl CampaignState {
         Value::Obj(vec![
             ("strategy".to_string(), Value::Str(self.strategy.clone())),
             ("seed".to_string(), Value::Int(self.seed as i64)),
+            ("complete".to_string(), Value::Bool(self.complete)),
             (
                 "records".to_string(),
                 Value::Arr(self.records.iter().map(record_to_value).collect()),
@@ -97,6 +128,12 @@ impl CampaignState {
         let mut state = CampaignState {
             strategy,
             seed,
+            // States written before completion tracking existed read as
+            // incomplete — their tags predate sharding anyway.
+            complete: doc
+                .get("complete")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
             ..CampaignState::default()
         };
         for item in items {

@@ -5,10 +5,11 @@
 //! crash happened and which library function's failure provoked it — so the
 //! campaign report lists *bugs*, not runs.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use crate::engine::{OutcomeKind, RunRecord};
+use crate::engine::{CrashInfo, OutcomeKind, RunRecord};
+use crate::shard::{ShardMergeError, ShardOutcome};
 
 /// A deduplicated crash signature.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -60,6 +61,34 @@ impl Triage {
     }
 }
 
+/// The signature one crash of one record collapses onto — the single
+/// definition shared by [`triage`] and the engine's `CrashFound` events.
+fn signature_of(record: &RunRecord, crash: &CrashInfo) -> CrashSignature {
+    CrashSignature {
+        target: record.target.clone(),
+        function: record.function.clone(),
+        module: crash.module.clone(),
+        offset: crash.offset,
+        frame: crash
+            .in_function
+            .clone()
+            .or_else(|| crash.backtrace.first().cloned()),
+    }
+}
+
+/// The distinct crash signatures of one record (a cluster run may crash
+/// several nodes onto the same signature; each appears once).
+pub(crate) fn crash_signatures(record: &RunRecord) -> Vec<CrashSignature> {
+    let mut signatures: Vec<CrashSignature> = record
+        .crashes
+        .iter()
+        .map(|crash| signature_of(record, crash))
+        .collect();
+    signatures.sort();
+    signatures.dedup();
+    signatures
+}
+
 /// Triage a batch of run records.
 pub fn triage(records: &[RunRecord]) -> Triage {
     let mut result = Triage::default();
@@ -72,16 +101,7 @@ pub fn triage(records: &[RunRecord]) -> Triage {
             OutcomeKind::Crashed => result.crashes += 1,
         }
         for crash in &record.crashes {
-            let signature = CrashSignature {
-                target: record.target.clone(),
-                function: record.function.clone(),
-                module: crash.module.clone(),
-                offset: crash.offset,
-                frame: crash
-                    .in_function
-                    .clone()
-                    .or_else(|| crash.backtrace.first().cloned()),
-            };
+            let signature = signature_of(record, crash);
             let bucket = buckets
                 .entry(signature.clone())
                 .or_insert_with(|| SignatureBucket {
@@ -124,6 +144,95 @@ pub struct CampaignReport {
     pub records: Vec<RunRecord>,
     /// Deduplicated failure triage over all records.
     pub triage: Triage,
+}
+
+impl CampaignReport {
+    /// Recombine a complete set of shard outcomes into one report.
+    ///
+    /// The outcomes must form exactly one campaign: every shard index of
+    /// one `count`, exactly once, all recorded under the same plan tag
+    /// (strategy fingerprint, space digest, workload suites) and campaign
+    /// seed. The merged records are the shards' records united in
+    /// canonical unit order, and the triage is recomputed over that union
+    /// — for schedules whose covered unit set does not depend on observed
+    /// history (exhaustive, guided, random, and adaptive without
+    /// saturation pruning), both are **byte-identical** to the equivalent
+    /// unsharded run's.
+    ///
+    /// Scheduling counters are aggregated: planned points, planned units,
+    /// executed units, and batches are summed; `peak_workers` is the
+    /// maximum (shards run concurrently); `space_size` is the maximum (all
+    /// live outcomes agree; outcomes reconstructed by
+    /// [`ShardOutcome::from_state`] carry 0).
+    pub fn merge(outcomes: Vec<ShardOutcome>) -> Result<CampaignReport, ShardMergeError> {
+        let Some(first) = outcomes.first() else {
+            return Err(ShardMergeError::Empty);
+        };
+        let count = first.shard.count;
+        let plan = first.plan_tag().to_string();
+        let seed = first.seed;
+        let mut indices: BTreeSet<usize> = BTreeSet::new();
+        for outcome in &outcomes {
+            // Outcomes normally carry builder-validated specs, but the
+            // fields are public: an out-of-range index would otherwise
+            // satisfy the completeness count below while a real shard's
+            // coverage was silently missing.
+            if let Err(err) = outcome.shard.validate() {
+                return Err(ShardMergeError::InvalidShard(outcome.shard, err));
+            }
+            if outcome.shard.count != count {
+                return Err(ShardMergeError::MixedCounts(count, outcome.shard.count));
+            }
+            if outcome.plan_tag() != plan {
+                return Err(ShardMergeError::MixedPlans(
+                    plan,
+                    outcome.plan_tag().to_string(),
+                ));
+            }
+            if outcome.seed != seed {
+                return Err(ShardMergeError::MixedSeeds(seed, outcome.seed));
+            }
+            if !indices.insert(outcome.shard.index) {
+                return Err(ShardMergeError::DuplicateShard(outcome.shard));
+            }
+        }
+        if indices.len() != count {
+            return Err(ShardMergeError::IncompleteShards {
+                have: indices.len(),
+                count,
+            });
+        }
+
+        let mut merged: BTreeMap<usize, RunRecord> = BTreeMap::new();
+        let mut report = CampaignReport {
+            strategy: first.report.strategy.clone(),
+            space_size: 0,
+            planned_points: 0,
+            units_total: 0,
+            batches: 0,
+            peak_workers: 0,
+            executed_now: 0,
+            triage: Triage::default(),
+            records: Vec::new(),
+        };
+        for outcome in outcomes {
+            report.space_size = report.space_size.max(outcome.report.space_size);
+            report.planned_points += outcome.report.planned_points;
+            report.units_total += outcome.report.units_total;
+            report.batches += outcome.report.batches;
+            report.peak_workers = report.peak_workers.max(outcome.report.peak_workers);
+            report.executed_now += outcome.report.executed_now;
+            for record in outcome.report.records {
+                let unit = record.unit;
+                if merged.insert(unit, record).is_some() {
+                    return Err(ShardMergeError::DuplicateUnit(unit));
+                }
+            }
+        }
+        report.records = merged.into_values().collect();
+        report.triage = triage(&report.records);
+        Ok(report)
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -211,6 +320,60 @@ mod tests {
                 .unwrap_or_default(),
             virtual_time: 1,
         }
+    }
+
+    fn outcome(index: usize, count: usize, records: Vec<RunRecord>) -> ShardOutcome {
+        ShardOutcome {
+            shard: crate::shard::ShardSpec { index, count },
+            tag: format!("exhaustive@0000000000000000#{index}/{count}"),
+            seed: 7,
+            report: CampaignReport {
+                strategy: "exhaustive".to_string(),
+                space_size: 4,
+                planned_points: records.len(),
+                units_total: records.len(),
+                batches: 1,
+                peak_workers: 1,
+                executed_now: records.len(),
+                triage: triage(&records),
+                records,
+            },
+        }
+    }
+
+    #[test]
+    fn merge_rejects_incomplete_duplicate_and_invalid_shard_sets() {
+        let shard0 = || outcome(0, 2, vec![record(0, 4, None)]);
+        let shard1 = || outcome(1, 2, vec![record(1, 8, None)]);
+
+        let merged = CampaignReport::merge(vec![shard0(), shard1()]).unwrap();
+        assert_eq!(merged.records.len(), 2);
+        assert_eq!(merged.strategy, "exhaustive");
+
+        assert_eq!(
+            CampaignReport::merge(Vec::new()).unwrap_err(),
+            ShardMergeError::Empty
+        );
+        assert_eq!(
+            CampaignReport::merge(vec![shard0()]).unwrap_err(),
+            ShardMergeError::IncompleteShards { have: 1, count: 2 }
+        );
+        assert!(matches!(
+            CampaignReport::merge(vec![shard0(), shard0()]),
+            Err(ShardMergeError::DuplicateShard(_))
+        ));
+        // An out-of-range index must not satisfy the completeness count
+        // while a real shard's coverage is missing.
+        assert!(matches!(
+            CampaignReport::merge(vec![shard0(), outcome(3, 2, vec![record(1, 8, None)])]),
+            Err(ShardMergeError::InvalidShard(_, _))
+        ));
+        // Two shards claiming the same unit violate the partition.
+        assert_eq!(
+            CampaignReport::merge(vec![shard0(), outcome(1, 2, vec![record(0, 4, None)])])
+                .unwrap_err(),
+            ShardMergeError::DuplicateUnit(0)
+        );
     }
 
     #[test]

@@ -4,10 +4,7 @@
 //! outcome, injected sites, crashes, virtual time — as fresh-VM execution,
 //! unit for unit.
 
-use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignReport, CampaignState, ExecBackend, Exhaustive, FaultSpace,
-    StandardExecutor,
-};
+use lfi_campaign::{Campaign, CampaignReport, ExecBackend, FaultSpace, StandardExecutor};
 use lfi_targets::standard_controller;
 
 /// A Table 1 style space: the given targets restricted to the functions
@@ -26,17 +23,14 @@ fn run_with(
     jobs: usize,
     backend: ExecBackend,
 ) -> (CampaignReport, usize) {
-    let campaign = Campaign::new(
-        space.clone(),
-        executor,
-        CampaignConfig {
-            jobs,
-            seed: 7,
-            backend,
-        },
-    );
-    let report = campaign.run(&Exhaustive, &mut CampaignState::default());
-    (report, campaign.prepared_sessions())
+    let driver = Campaign::builder(space.clone(), executor)
+        .jobs(jobs)
+        .seed(7)
+        .backend(backend)
+        .build();
+    let report = driver.run_to_completion().report;
+    let sessions = driver.campaign().prepared_sessions();
+    (report, sessions)
 }
 
 fn assert_backends_agree(executor: &StandardExecutor, space: &FaultSpace, min_sessions: usize) {

@@ -1,8 +1,6 @@
 //! End-to-end campaign tests against a real target program.
 
-use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignState, Exhaustive, InjectionGuided, StandardExecutor,
-};
+use lfi_campaign::{Campaign, CampaignState, InjectionGuided, StandardExecutor};
 use lfi_targets::standard_controller;
 
 /// Build a small but real fault space: git-lite restricted to the functions
@@ -19,17 +17,9 @@ fn campaign_finds_the_git_readdir_bug_and_triages_it() {
     let executor = StandardExecutor::new(&["git-lite"]);
     let space = git_space(&executor);
     assert!(!space.is_empty());
-    let campaign = Campaign::new(
-        space,
-        &executor,
-        CampaignConfig {
-            jobs: 2,
-            seed: 7,
-            ..CampaignConfig::default()
-        },
-    );
+    let driver = Campaign::builder(space, &executor).jobs(2).seed(7).build();
     let mut state = CampaignState::default();
-    let report = campaign.run(&Exhaustive, &mut state);
+    let report = driver.run_with_state(&mut state).report;
 
     assert_eq!(report.executed_now, report.units_total);
     assert!(report.triage.crashes > 0, "opendir injection must crash");
@@ -47,7 +37,7 @@ fn campaign_finds_the_git_readdir_bug_and_triages_it() {
     // Resuming from persisted state re-executes nothing and reproduces the
     // same triage.
     let mut resumed = CampaignState::from_json(&state.to_json()).unwrap();
-    let again = campaign.run(&Exhaustive, &mut resumed);
+    let again = driver.run_with_state(&mut resumed).report;
     assert_eq!(again.executed_now, 0);
     assert_eq!(again.records, report.records);
 }
@@ -71,27 +61,20 @@ fn guided_explores_fewer_units_without_losing_the_crash() {
     executor.annotate_baseline_reachability(&mut exhaustive_space, 7);
     let guided_space = exhaustive_space.clone();
 
-    let exhaustive_campaign = Campaign::new(
-        exhaustive_space,
-        &executor,
-        CampaignConfig {
-            jobs: 2,
-            seed: 7,
-            ..CampaignConfig::default()
-        },
-    );
-    let exhaustive = exhaustive_campaign.run(&Exhaustive, &mut CampaignState::default());
+    let exhaustive = Campaign::builder(exhaustive_space, &executor)
+        .jobs(2)
+        .seed(7)
+        .build()
+        .run_to_completion()
+        .report;
 
-    let guided_campaign = Campaign::new(
-        guided_space,
-        &executor,
-        CampaignConfig {
-            jobs: 2,
-            seed: 7,
-            ..CampaignConfig::default()
-        },
-    );
-    let guided = guided_campaign.run(&InjectionGuided, &mut CampaignState::default());
+    let guided = Campaign::builder(guided_space, &executor)
+        .strategy(InjectionGuided)
+        .jobs(2)
+        .seed(7)
+        .build()
+        .run_to_completion()
+        .report;
 
     assert!(
         guided.units_total < exhaustive.units_total,

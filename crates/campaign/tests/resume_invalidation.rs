@@ -11,8 +11,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use lfi_analyzer::CallSiteClass;
 use lfi_campaign::{
-    Campaign, CampaignConfig, CampaignState, Execution, Executor, Exhaustive, FaultPoint,
-    FaultSpace, OutcomeKind, RandomSample, WorkUnit,
+    Campaign, CampaignState, Execution, Executor, FaultPoint, FaultSpace, OutcomeKind,
+    RandomSample, WorkUnit,
 };
 
 /// A synthetic executor with a configurable workload suite and an
@@ -76,9 +76,9 @@ fn demo_space(points: usize) -> FaultSpace {
 /// Run a campaign over `space`, checkpoint it through JSON, and hand back
 /// the parsed state (as a resumed session would hold it).
 fn checkpoint(space: FaultSpace, executor: &CountingExecutor) -> CampaignState {
-    let campaign = Campaign::new(space, executor, CampaignConfig::default());
+    let driver = Campaign::builder(space, executor).build();
     let mut state = CampaignState::default();
-    let report = campaign.run(&Exhaustive, &mut state);
+    let report = driver.run_with_state(&mut state).report;
     assert_eq!(report.executed_now, report.units_total, "first run is full");
     CampaignState::from_json(&state.to_json()).unwrap()
 }
@@ -93,16 +93,20 @@ fn reannotating_the_space_invalidates_the_checkpoint() {
     // depend on that annotation, so the old records must not be reused.
     let mut reannotated = demo_space(3);
     reannotated.points[1].class = Some(CallSiteClass::Unchecked);
-    let campaign = Campaign::new(reannotated, &executor, CampaignConfig::default());
-    let report = campaign.run(&Exhaustive, &mut state);
+    let report = Campaign::builder(reannotated, &executor)
+        .build()
+        .run_with_state(&mut state)
+        .report;
     assert_eq!(report.executed_now, 6, "annotation change starts fresh");
     assert_eq!(executor.count(), 12);
 
     // Same for baseline reachability.
     let mut rebaselined = demo_space(3);
     rebaselined.points[0].reached = Some(true);
-    let campaign = Campaign::new(rebaselined, &executor, CampaignConfig::default());
-    let report = campaign.run(&Exhaustive, &mut state);
+    let report = Campaign::builder(rebaselined, &executor)
+        .build()
+        .run_with_state(&mut state)
+        .report;
     assert_eq!(report.executed_now, 6, "reachability change starts fresh");
 }
 
@@ -116,8 +120,10 @@ fn changed_error_cases_invalidate_the_checkpoint() {
     let mut reprofiled = demo_space(3);
     reprofiled.points[2].retval = 0;
     reprofiled.points[2].errno = Some(12);
-    let campaign = Campaign::new(reprofiled, &executor, CampaignConfig::default());
-    let report = campaign.run(&Exhaustive, &mut state);
+    let report = Campaign::builder(reprofiled, &executor)
+        .build()
+        .run_with_state(&mut state)
+        .report;
     assert_eq!(report.executed_now, 6, "error-case change starts fresh");
 }
 
@@ -132,8 +138,10 @@ fn growing_the_workload_suite_invalidates_the_checkpoint() {
     // resumed run must cover the full new plan.
     let grown =
         CountingExecutor::with_suite(vec![vec!["a".into()], vec!["b".into()], vec!["c".into()]]);
-    let campaign = Campaign::new(demo_space(3), &grown, CampaignConfig::default());
-    let report = campaign.run(&Exhaustive, &mut state);
+    let report = Campaign::builder(demo_space(3), &grown)
+        .build()
+        .run_with_state(&mut state)
+        .report;
     assert_eq!(report.units_total, 9, "3 points x 3 workloads");
     assert_eq!(
         report.executed_now, report.units_total,
@@ -149,30 +157,20 @@ fn seed_and_fingerprint_changes_invalidate_the_checkpoint() {
 
     // A different campaign seed derives different unit seeds: records from
     // the old seed are not comparable, so the state resets.
-    let campaign = Campaign::new(
-        demo_space(3),
-        &executor,
-        CampaignConfig {
-            jobs: 1,
-            seed: 8,
-            ..CampaignConfig::default()
-        },
-    );
-    let report = campaign.run(&Exhaustive, &mut state);
+    let report = Campaign::builder(demo_space(3), &executor)
+        .seed(8)
+        .build()
+        .run_with_state(&mut state)
+        .report;
     assert_eq!(report.executed_now, 6, "seed change starts fresh");
 
     // A different strategy fingerprint (same space, same seed) does too.
-    let campaign = Campaign::new(
-        demo_space(3),
-        &executor,
-        CampaignConfig {
-            jobs: 1,
-            seed: 8,
-            ..CampaignConfig::default()
-        },
-    );
-    let sample = RandomSample { count: 3, seed: 8 };
-    let report = campaign.run(&sample, &mut state);
+    let report = Campaign::builder(demo_space(3), &executor)
+        .seed(8)
+        .strategy(RandomSample { count: 3, seed: 8 })
+        .build()
+        .run_with_state(&mut state)
+        .report;
     assert_eq!(report.executed_now, 6, "fingerprint change starts fresh");
 }
 
@@ -196,17 +194,13 @@ fn a_fully_resumed_campaign_spawns_no_workers_and_executes_nothing() {
 
     // Same plan, but an executor that panics on any execution: the resumed
     // run must make zero executor calls and spawn zero worker threads.
-    let campaign = Campaign::new(
-        demo_space(3),
-        &UnreachableExecutor,
-        CampaignConfig {
-            jobs: 4,
-            seed: 7,
-            ..CampaignConfig::default()
-        },
-    );
     let mut resumed = state;
-    let report = campaign.run(&Exhaustive, &mut resumed);
+    let report = Campaign::builder(demo_space(3), &UnreachableExecutor)
+        .jobs(4)
+        .seed(7)
+        .build()
+        .run_with_state(&mut resumed)
+        .report;
     assert_eq!(report.executed_now, 0);
     assert_eq!(
         report.peak_workers, 0,

@@ -2,31 +2,48 @@
 //!
 //! Demonstrates the campaign subsystem end to end: enumerate the fault
 //! space of all `*-lite` targets, annotate it with analyzer classifications
-//! and baseline reachability, explore it with the adaptive coverage-feedback
-//! scheduler on a worker pool, triage the crashes into deduplicated
-//! signatures, and resume from persisted JSON state without re-running
-//! anything.
+//! and baseline reachability, build a `CampaignDriver` with the adaptive
+//! coverage-feedback scheduler, stream typed progress events while the
+//! worker pool drains it, triage the crashes into deduplicated signatures,
+//! and resume from the driver's own per-batch checkpoint without
+//! re-running anything. `--shard i/n` runs just one mergeable slice — the
+//! same flag a multi-process sweep would pass to each worker process.
 //!
 //! Usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|adaptive|random]
-//!                       [--backend fresh|snapshot]
+//!                       [--backend fresh|snapshot] [--shard I/N]
 
 use lfi::campaign::{
-    default_test_suite, Campaign, CampaignConfig, CampaignState, CoverageAdaptive, ExecBackend,
-    Exhaustive, InjectionGuided, RandomSample, StandardExecutor, Strategy, STOCK_TARGETS,
+    default_test_suite, Campaign, CampaignEvent, CoverageAdaptive, ExecBackend, Exhaustive,
+    InjectionGuided, RandomSample, ShardSpec, StandardExecutor, Strategy, STOCK_TARGETS,
 };
 use lfi::targets::standard_controller;
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign_sweep [--jobs N] [--strategy exhaustive|guided|adaptive|random] \
-         [--backend fresh|snapshot]"
+         [--backend fresh|snapshot] [--shard I/N]"
     );
     std::process::exit(2);
+}
+
+/// Parse a flag value, printing the parse error (which names the accepted
+/// values) before the usage text.
+fn parse_flag<T>(value: Option<String>) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let value = value.unwrap_or_else(|| usage());
+    value.parse().unwrap_or_else(|err| {
+        eprintln!("campaign_sweep: {err}");
+        usage()
+    })
 }
 
 fn main() {
     let mut jobs = 2usize;
     let mut backend = ExecBackend::Fresh;
+    let mut shard = ShardSpec::FULL;
     let mut strategy: Box<dyn Strategy> = Box::new(CoverageAdaptive::default());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -46,13 +63,8 @@ fn main() {
                     _ => usage(),
                 }
             }
-            "--backend" => {
-                backend = args
-                    .next()
-                    .as_deref()
-                    .and_then(ExecBackend::parse)
-                    .unwrap_or_else(|| usage())
-            }
+            "--backend" => backend = parse_flag(args.next()),
+            "--shard" => shard = parse_flag(args.next()),
             _ => usage(),
         }
     }
@@ -83,36 +95,59 @@ fn main() {
             .sum::<usize>()
     );
 
-    // 2. Explore it on the worker pool, batch by batch. With the adaptive
-    // scheduler, completed batches feed back into the schedule: fault
-    // points near fresh crash signatures are escalated, repeatedly-passing
-    // caller neighborhoods sink to the back.
-    let campaign = Campaign::new(
-        space,
-        &executor,
-        CampaignConfig {
-            jobs,
-            seed: 7,
-            backend,
-        },
+    // 2. Build the driver: strategy, backend, worker pool, shard slice, a
+    // progress sink, and a checkpoint file the driver maintains per batch.
+    // With the adaptive scheduler, completed batches feed back into the
+    // schedule: fault points near fresh crash signatures are escalated,
+    // repeatedly-passing caller neighborhoods sink to the back.
+    let checkpoint = std::env::temp_dir().join(format!(
+        "lfi_campaign_sweep_{}_of_{}.json",
+        shard.index, shard.count
+    ));
+    let _ = std::fs::remove_file(&checkpoint); // this run starts fresh
+    let progress = |event: &CampaignEvent| match event {
+        CampaignEvent::BatchPlanned {
+            batch,
+            points,
+            pending,
+            ..
+        } => println!("batch {batch}: {points} fault points, {pending} units to run"),
+        CampaignEvent::CrashFound(signature) => println!(
+            "  crash: {} into {} -> {}+{:#x}",
+            signature.function,
+            signature.frame.as_deref().unwrap_or("?"),
+            signature.module,
+            signature.offset
+        ),
+        _ => {}
+    };
+    let driver = Campaign::builder(space, &executor)
+        .boxed_strategy(strategy)
+        .jobs(jobs)
+        .seed(7)
+        .backend(backend)
+        .shard(shard)
+        .events(&progress)
+        .checkpoint(&checkpoint)
+        .build();
+    println!(
+        "shard {shard}: {} of {} canonical units\n",
+        driver.shard_units(),
+        driver.campaign().total_units()
     );
-    let mut state = CampaignState::default();
-    let report = campaign.run(strategy.as_ref(), &mut state);
-    println!("\n{report}");
+    let outcome = driver.run_to_completion();
+    println!("\n{}", outcome.report);
 
-    // 3. Persist the state and resume: nothing is re-executed. The state
-    // tag (strategy fingerprint @ plan hash) guarantees the checkpoint is
-    // only ever applied to the exact plan that produced it — re-annotating
-    // the space or editing a test suite would start fresh instead.
-    let checkpoint = std::env::temp_dir().join("lfi_campaign_sweep.json");
-    std::fs::write(&checkpoint, state.to_json()).expect("write checkpoint");
-    let json = std::fs::read_to_string(&checkpoint).expect("read checkpoint");
-    let mut resumed = CampaignState::from_json(&json).expect("parse checkpoint");
-    let again = campaign.run(strategy.as_ref(), &mut resumed);
+    // 3. Resume from the driver's checkpoint: nothing is re-executed. The
+    // state tag (strategy fingerprint @ plan hash # shard) guarantees the
+    // checkpoint is only ever applied to the exact plan and shard that
+    // produced it — re-annotating the space, editing a test suite, or
+    // handing the file to another shard would start fresh instead.
+    let again = driver.run_to_completion();
     println!(
         "resumed from {}: {} units re-executed (state held {} records)",
         checkpoint.display(),
-        again.executed_now,
-        again.records.len()
+        again.report.executed_now,
+        again.report.records.len()
     );
 }

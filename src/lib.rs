@@ -16,7 +16,9 @@
 //!   every (call site × error case) fault point, schedule it batch-by-batch
 //!   with pluggable strategies (including the adaptive coverage-feedback
 //!   scheduler) on a worker pool, triage crashes into signatures, resume
-//!   interrupted sweeps from JSON state tagged with the full plan identity;
+//!   interrupted sweeps from JSON state tagged with the full plan identity,
+//!   shard one campaign across processes/machines with byte-identical
+//!   mergeable results, and stream typed progress events while it runs;
 //! * the substrate: [`arch`](lfi_arch), [`obj`](lfi_obj), [`asm`](lfi_asm),
 //!   [`cc`](lfi_cc), [`vm`](lfi_vm), [`libc`](lfi_libc);
 //! * [`targets`](lfi_targets) — the BIND/MySQL/Git/PBFT/Apache analogues with
@@ -72,8 +74,9 @@ pub mod prelude {
     // The `Strategy` trait itself stays at `lfi::campaign::Strategy`: its
     // name collides with `proptest::prelude::Strategy` under glob imports.
     pub use lfi_campaign::{
-        Campaign, CampaignConfig, CampaignHistory, CampaignState, CoverageAdaptive, ExecBackend,
-        Exhaustive, FaultPoint, FaultSpace, InjectionGuided, RandomSample, StandardExecutor,
+        Campaign, CampaignBuilder, CampaignConfig, CampaignDriver, CampaignEvent, CampaignHistory,
+        CampaignState, CoverageAdaptive, EventLog, EventSink, ExecBackend, Exhaustive, FaultPoint,
+        FaultSpace, InjectionGuided, RandomSample, ShardOutcome, ShardSpec, StandardExecutor,
     };
     pub use lfi_core::{
         Controller, FrameSpec, FunctionAssoc, InjectionEngine, RunToCompletion, Scenario,
