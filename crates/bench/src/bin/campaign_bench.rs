@@ -8,6 +8,13 @@
 //!   snapshot-fork backends, reporting units/sec per lane and the snapshot
 //!   speedup. This is the lane comparison the snapshot backend is sized
 //!   by: the sweep is all single-process targets, so every unit forks.
+//! * **depth** — units/sec as a function of *injection depth*: git-lite's
+//!   functions are bucketed by the injectable-call index of their first
+//!   call (measured from the workloads' call traces), and each bucket is
+//!   swept under the flat single-snapshot session model
+//!   (`max_session_depth = 1`, the pre-tree behavior) and the snapshot
+//!   *tree* (deepening enabled). The deeper the bucket, the more prefix
+//!   the tree amortizes; the lanes quantify it.
 //! * **table1** — the full Table 1 hunt under both backends: identical run
 //!   records and crash signatures, and all 11 known bugs found by each.
 //!   (The hunt's wall clock is dominated by bft-lite cluster runs, which
@@ -18,13 +25,17 @@
 //!
 //! Usage: campaign_bench [--jobs N] [--out FILE]
 
+use std::collections::BTreeMap;
 use std::process::exit;
 use std::time::Instant;
 
 use lfi_bench::{match_known_bugs, table1_fault_space};
-use lfi_campaign::{Campaign, CampaignReport, ExecBackend, FaultSpace, StandardExecutor};
+use lfi_campaign::{
+    default_test_suite, Campaign, CampaignReport, ExecBackend, FaultSpace, StandardExecutor,
+};
+use lfi_core::TestConfig;
 use lfi_json::Value;
-use lfi_targets::{standard_controller, KNOWN_BUGS};
+use lfi_targets::{git_lite, standard_controller, FsSetupWorkload, KNOWN_BUGS};
 
 const HUNT_TARGETS: [&str; 4] = ["bind-lite", "git-lite", "db-lite", "bft-lite"];
 
@@ -99,6 +110,35 @@ fn print_lane(section: &str, jobs: usize, lane: &Lane) {
     );
 }
 
+/// The minimum injectable-call depth of each library function's first call
+/// across the git-lite suite, measured from full per-workload call traces.
+/// Functions never called by the suite are absent.
+fn git_min_depths() -> BTreeMap<String, usize> {
+    let controller = standard_controller();
+    let functions = controller.profile_libraries().failing_functions();
+    let image = controller
+        .build_image(&git_lite(), &functions)
+        .expect("git-lite loads");
+    let mut min_depth = BTreeMap::new();
+    for args in default_test_suite("git-lite") {
+        let config = TestConfig {
+            args,
+            ..TestConfig::default()
+        };
+        let prep = controller.trace_session_calls(
+            image.clone(),
+            &functions,
+            &mut FsSetupWorkload,
+            &config,
+        );
+        for (index, function) in prep.forwarded.iter().enumerate() {
+            let depth = min_depth.entry(function.clone()).or_insert(usize::MAX);
+            *depth = (*depth).min(index + 1);
+        }
+    }
+    min_depth
+}
+
 fn main() {
     let mut jobs = 4usize;
     let mut out = "BENCH_campaign.json".to_string();
@@ -133,6 +173,50 @@ fn main() {
         failures.push("throughput lanes produced different records".to_string());
     }
 
+    // Depth section: flat-session vs snapshot-tree throughput per
+    // injection-depth bucket of the git-lite space.
+    let make_flat = || {
+        let mut executor = StandardExecutor::new(&["git-lite"]);
+        executor.set_max_session_depth(1);
+        executor
+    };
+    let depths = git_min_depths();
+    let bucket_functions = |lo: usize, hi: usize| -> Vec<String> {
+        depths
+            .iter()
+            .filter(|(_, depth)| (lo..=hi).contains(depth))
+            .map(|(function, _)| function.clone())
+            .collect()
+    };
+    let buckets = [
+        ("depth 1", bucket_functions(1, 1)),
+        ("depth 2-3", bucket_functions(2, 3)),
+        ("depth 4+", bucket_functions(4, usize::MAX)),
+    ];
+    let mut depth_lanes = Vec::new();
+    let mut depth_speedups: Vec<(String, f64)> = Vec::new();
+    for (label, functions) in &buckets {
+        if functions.is_empty() {
+            eprintln!("warning: no git-lite functions in bucket {label}; lane skipped");
+            continue;
+        }
+        let mut space = git_space.clone();
+        space.retain(|p| functions.contains(&p.function));
+        let flat = run_lane(&make_flat, &space, jobs, ExecBackend::Snapshot);
+        let tree = run_lane(&make_git, &space, jobs, ExecBackend::Snapshot);
+        if flat.report.records != tree.report.records {
+            failures.push(format!(
+                "{label} lanes produced different records (flat vs tree sessions)"
+            ));
+        }
+        depth_speedups.push((
+            label.to_string(),
+            flat.seconds / tree.seconds.max(f64::EPSILON),
+        ));
+        depth_lanes.push((format!("{label} flat"), flat));
+        depth_lanes.push((format!("{label} tree"), tree));
+    }
+
     // Table 1 section: the full hunt, both backends.
     let make_hunt = || StandardExecutor::new(&HUNT_TARGETS);
     let hunt_space = table1_fault_space(&make_hunt(), 7);
@@ -159,23 +243,33 @@ fn main() {
         bugs_found.push((lane.backend.to_string(), table.found.len()));
     }
 
+    let mut lanes = vec![
+        lane_json("throughput", jobs, &sweep_fresh),
+        lane_json("throughput", jobs, &sweep_snapshot),
+    ];
+    for (label, lane) in &depth_lanes {
+        lanes.push(lane_json(label, jobs, lane));
+    }
+    lanes.push(lane_json("table1", jobs, &hunt_fresh));
+    lanes.push(lane_json("table1", jobs, &hunt_snapshot));
     let doc = Value::Obj(vec![
         (
             "benchmark".to_string(),
             Value::Str("campaign_throughput".to_string()),
         ),
-        (
-            "lanes".to_string(),
-            Value::Arr(vec![
-                lane_json("throughput", jobs, &sweep_fresh),
-                lane_json("throughput", jobs, &sweep_snapshot),
-                lane_json("table1", jobs, &hunt_fresh),
-                lane_json("table1", jobs, &hunt_snapshot),
-            ]),
-        ),
+        ("lanes".to_string(), Value::Arr(lanes)),
         (
             "snapshot_speedup".to_string(),
             Value::Str(format!("{speedup:.2}")),
+        ),
+        (
+            "tree_speedup_by_depth".to_string(),
+            Value::Obj(
+                depth_speedups
+                    .iter()
+                    .map(|(label, speedup)| (label.clone(), Value::Str(format!("{speedup:.2}"))))
+                    .collect(),
+            ),
         ),
         (
             "known_bugs".to_string(),
@@ -192,6 +286,12 @@ fn main() {
 
     print_lane("throughput", jobs, &sweep_fresh);
     print_lane("throughput", jobs, &sweep_snapshot);
+    for (label, lane) in &depth_lanes {
+        print_lane(label, jobs, lane);
+    }
+    for (label, tree_speedup) in &depth_speedups {
+        println!("tree speedup over flat sessions at {label}: {tree_speedup:.2}x");
+    }
     print_lane("table1", jobs, &hunt_fresh);
     print_lane("table1", jobs, &hunt_snapshot);
     for (name, found) in &bugs_found {

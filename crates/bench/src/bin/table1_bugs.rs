@@ -3,7 +3,7 @@
 //!
 //! Usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random]
 //!                    [--sample N] [--backend fresh|snapshot]
-//!                    [--shard I/N] [--state FILE]
+//!                    [--snapshot-budget BYTES] [--shard I/N] [--state FILE]
 //!        table1_bugs merge STATE.json STATE.json [...]
 //!
 //! `--shard I/N` runs only shard I of N (round-robin over fault points);
@@ -20,7 +20,8 @@ use lfi_campaign::CampaignState;
 fn usage() -> ! {
     eprintln!(
         "usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random] \
-         [--sample N] [--backend fresh|snapshot] [--shard I/N] [--state FILE]\n\
+         [--sample N] [--backend fresh|snapshot] [--snapshot-budget BYTES] \
+         [--shard I/N] [--state FILE]\n\
          \x20      table1_bugs merge STATE.json STATE.json [...]"
     );
     exit(2);
@@ -99,6 +100,12 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--backend" => options.backend = parse_or_usage(args.next()),
+            "--snapshot-budget" => {
+                options.snapshot_budget = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--shard" => options.shard = parse_or_usage(args.next()),
             "--state" => options.state = Some(args.next().unwrap_or_else(|| usage()).into()),
             _ => usage(),

@@ -12,7 +12,7 @@ use std::path::PathBuf;
 use lfi_campaign::{
     Campaign, CampaignReport, CampaignState, CoverageAdaptive, ExecBackend, Exhaustive, FaultSpace,
     InjectionGuided, OutcomeKind, RandomSample, ShardMergeError, ShardOutcome, ShardSpec,
-    StandardExecutor, Strategy,
+    StandardExecutor, Strategy, DEFAULT_SNAPSHOT_BUDGET,
 };
 use lfi_targets::{standard_controller, KNOWN_BUGS};
 
@@ -53,6 +53,9 @@ pub struct HuntOptions {
     pub seed: u64,
     /// Execution backend (fresh VM per unit, or snapshot-fork sessions).
     pub backend: ExecBackend,
+    /// Byte cap on resident snapshot-tree nodes (snapshot backend only);
+    /// the executor evicts least-recently-forked non-root nodes past it.
+    pub snapshot_budget: u64,
     /// Which round-robin slice of the fault space to run
     /// ([`ShardSpec::FULL`] for the whole hunt). Sibling processes run the
     /// other slices; [`table1_merge`] recombines their persisted states.
@@ -69,6 +72,7 @@ impl Default for HuntOptions {
             strategy: HuntStrategy::Exhaustive,
             seed: 7,
             backend: ExecBackend::Fresh,
+            snapshot_budget: DEFAULT_SNAPSHOT_BUDGET,
             shard: ShardSpec::FULL,
             state: None,
         }
@@ -138,6 +142,7 @@ pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
         .jobs(options.jobs)
         .seed(options.seed)
         .backend(options.backend)
+        .snapshot_budget(options.snapshot_budget)
         .shard(options.shard);
     if let Some(path) = &options.state {
         builder = builder.checkpoint(path);

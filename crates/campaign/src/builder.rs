@@ -98,6 +98,15 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Byte cap on resident snapshot state under the snapshot backend
+    /// (default: [`crate::engine::DEFAULT_SNAPSHOT_BUDGET`]). A pure
+    /// performance knob: past the cap, sessions evict least-recently-used
+    /// snapshots and re-derive them on demand; results never change.
+    pub fn snapshot_budget(mut self, bytes: u64) -> Self {
+        self.config.snapshot_budget = bytes;
+        self
+    }
+
     /// Run only one round-robin slice of the fault space (default:
     /// [`ShardSpec::FULL`], the whole space). Sibling processes run the
     /// other slices of the same `count`; their outcomes merge with

@@ -18,12 +18,17 @@
 //! * **Snapshot** — the executor prepares one [`Session`] per
 //!   `(target, workload)` pair ([`Executor::prepare`]): the workload runs
 //!   once up to its first injectable library call and is captured as a VM
-//!   snapshot. Every unit of that pair then forks from the snapshot
+//!   snapshot. Every unit of that pair then forks from a snapshot
 //!   ([`Executor::execute_from`]), so the prefix — target load, init, and
 //!   workload setup — is executed once instead of once per fault point.
-//!   Sessions are prepared lazily in an engine-owned cache shared across
-//!   worker threads; targets that cannot snapshot (multi-process cluster
-//!   targets return `None` from `prepare`) fall back to fresh VMs.
+//!   The stock executor grows each session into a call-indexed snapshot
+//!   *tree*, so a unit injecting deep in the workload forks the deepest
+//!   snapshot preceding its function's first call instead of replaying
+//!   from the first injectable call; resident snapshots are bounded by
+//!   [`CampaignConfig::snapshot_budget`]. Sessions are prepared lazily in
+//!   an engine-owned cache shared across worker threads; targets that
+//!   cannot snapshot (multi-process cluster targets return `None` from
+//!   `prepare`) fall back to fresh VMs.
 //!
 //! Both backends must produce identical [`Execution`]s for the same unit —
 //! results stay independent of the backend, the worker count, and the
@@ -282,9 +287,26 @@ pub trait Executor: Sync {
         self.execute(unit)
     }
 
+    /// Cap the bytes of resident snapshot state sessions may keep
+    /// (executors that snapshot evict least-recently-used snapshots past
+    /// the cap). A pure performance knob: eviction re-derives state, never
+    /// changes results. The default ignores it — fresh-only executors keep
+    /// no snapshots.
+    fn set_snapshot_budget(&self, _bytes: u64) {}
+
+    /// Bytes of resident snapshot state currently held across sessions
+    /// (`0` for executors that never snapshot).
+    fn snapshot_bytes(&self) -> u64 {
+        0
+    }
+
     /// Execute one unit on a fresh VM instance.
     fn execute(&self, unit: &WorkUnit) -> Execution;
 }
+
+/// Default cap on resident snapshot bytes under the snapshot backend
+/// (see [`CampaignConfig::snapshot_budget`]).
+pub const DEFAULT_SNAPSHOT_BUDGET: u64 = 256 << 20;
 
 /// How the engine runs work units — see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -355,6 +377,11 @@ pub struct CampaignConfig {
     /// backends produce identical records, so a checkpoint written under one
     /// backend resumes cleanly under the other.
     pub backend: ExecBackend,
+    /// Byte cap on resident snapshot state under the snapshot backend,
+    /// forwarded to [`Executor::set_snapshot_budget`] at construction. Like
+    /// the backend itself, a pure performance knob outside the plan
+    /// identity.
+    pub snapshot_budget: u64,
 }
 
 impl Default for CampaignConfig {
@@ -363,6 +390,7 @@ impl Default for CampaignConfig {
             jobs: 1,
             seed: 7,
             backend: ExecBackend::Fresh,
+            snapshot_budget: DEFAULT_SNAPSHOT_BUDGET,
         }
     }
 }
@@ -483,6 +511,9 @@ impl<'a> Campaign<'a> {
             unit_base.push(total_units);
             total_units += suite_len;
         }
+        if config.backend == ExecBackend::Snapshot {
+            executor.set_snapshot_budget(config.snapshot_budget);
+        }
         Campaign {
             space,
             executor,
@@ -498,6 +529,11 @@ impl<'a> Campaign<'a> {
     /// the fresh backend, and for executors that never snapshot).
     pub fn prepared_sessions(&self) -> usize {
         self.sessions.prepared()
+    }
+
+    /// Bytes of resident snapshot state the executor currently holds.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.executor.snapshot_bytes()
     }
 
     /// Run one unit through the configured backend.

@@ -82,12 +82,15 @@ pub use builder::{CampaignBuilder, CampaignDriver};
 pub use engine::{
     derive_seed, Campaign, CampaignConfig, CrashInfo, ExecBackend, Execution, Executor,
     InjectedSite, OutcomeKind, ParseBackendError, RunRecord, Session, WorkUnit,
+    DEFAULT_SNAPSHOT_BUDGET,
 };
 pub use events::{CampaignEvent, EventLog, EventSink};
 pub use history::CampaignHistory;
 pub use shard::{ShardMergeError, ShardOutcome, ShardSpec, ShardSpecError};
 pub use space::{FaultPoint, FaultSpace};
-pub use standard::{default_test_suite, run_target, StandardExecutor, STOCK_TARGETS};
+pub use standard::{
+    default_test_suite, run_target, run_target_with_budget, StandardExecutor, STOCK_TARGETS,
+};
 pub use state::CampaignState;
 pub use strategy::{Exhaustive, InjectionGuided, RandomSample, Strategy};
 pub use triage::{triage, CampaignReport, CrashSignature, SignatureBucket, Triage};

@@ -15,26 +15,38 @@
 //!   *every* profiled failing library function (so one image serves every
 //!   unit, whatever it injects), is cached per target (loader work shared
 //!   across the target's workloads), and the workload runs once up to its
-//!   first injectable call, where a [`MachineSnapshot`] captures it. Each
-//!   unit then forks the snapshot, reseeds the fork with its unit seed, and
-//!   resumes under its own injection engine. bft-lite is a multi-process
-//!   cluster and cannot snapshot; its `prepare` returns `None` and units
-//!   fall back to fresh cluster runs.
+//!   first injectable call, where a [`MachineSnapshot`] captures the tree's
+//!   root. The session then grows a *snapshot tree* keyed by
+//!   injectable-call index: a unit injecting a function first called at
+//!   call `k` forks the deepest resident snapshot certified to precede
+//!   call `k` — paying the prefix from the root once per function instead
+//!   of once per unit — reseeds the fork with its unit seed, and resumes
+//!   under its own injection engine. Deepening only extends the tree while
+//!   the run stays deterministic (pristine RNG, normal exits); anything
+//!   else caps the tree and units fall back to shallower nodes. Resident
+//!   snapshots are bounded by a byte budget with least-recently-used
+//!   eviction. bft-lite is a multi-process cluster and cannot snapshot;
+//!   its `prepare` returns `None` and units fall back to fresh cluster
+//!   runs, as do workloads whose prefix consumes randomness, crashes,
+//!   blocks, or exhausts the instruction budget before the first
+//!   injectable call.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use lfi_core::{InjectionEngine, InjectionLog, TestConfig, TestOutcome, TestReport};
+use lfi_core::{InjectionEngine, InjectionLog, PauseAtCall, TestConfig, TestOutcome, TestReport};
 use lfi_obj::Module;
 use lfi_profiler::FaultProfile;
 use lfi_targets::{
     bft_lite, bind_lite, db_lite, git_lite, httpd_lite, networked_controller, run_bft_cluster,
     standard_controller, BftClusterConfig, BindWorkload, FsSetupWorkload,
 };
-use lfi_vm::{Coverage, Fault, Image, MachineSnapshot, NetHandle, NoHooks, RunExit};
+use lfi_vm::{Coverage, Fault, Image, Machine, MachineSnapshot, NetHandle, NoHooks, RunExit};
 
 use crate::engine::{
     derive_seed, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, Session, WorkUnit,
+    DEFAULT_SNAPSHOT_BUDGET,
 };
 use crate::space::FaultSpace;
 
@@ -92,6 +104,29 @@ pub fn run_target(
     record_coverage: bool,
     seed: u64,
 ) -> TestReport {
+    run_target_with_budget(
+        target,
+        exe,
+        scenario,
+        args,
+        record_coverage,
+        seed,
+        TestConfig::default().max_instructions,
+    )
+}
+
+/// [`run_target`] with an explicit per-run instruction budget, so campaigns
+/// with a configured [`StandardExecutor::set_max_instructions`] budget keep
+/// fresh and snapshot execution on identical budget accounting.
+pub fn run_target_with_budget(
+    target: &str,
+    exe: &Module,
+    scenario: &lfi_core::Scenario,
+    args: Vec<String>,
+    record_coverage: bool,
+    seed: u64,
+    max_instructions: u64,
+) -> TestReport {
     if target == "bind-lite" {
         let net = NetHandle::default();
         let controller = networked_controller(net.clone());
@@ -100,6 +135,7 @@ pub fn run_target(
             args: vec![workload.request_count().to_string()],
             record_coverage,
             seed,
+            max_instructions,
             ..TestConfig::default()
         };
         controller
@@ -111,6 +147,7 @@ pub fn run_target(
             args,
             record_coverage,
             seed,
+            max_instructions,
             ..TestConfig::default()
         };
         controller
@@ -122,21 +159,155 @@ pub fn run_target(
 /// A `(target, workload arguments)` session key.
 type SessionKey = (String, Vec<String>);
 /// One memo slot, built at most once; `None` records that the pair refused
-/// to snapshot (e.g. its prefix consumed randomness).
+/// to snapshot (e.g. its prefix consumed randomness, crashed, blocked, or
+/// exhausted the instruction budget before the first injectable call).
 type SessionSlot = Arc<OnceLock<Option<Arc<PreparedSession>>>>;
 
-/// One prepared session: the target's VM captured at the workload's first
-/// injectable library call, plus the instruction budget the forks have left.
-struct PreparedSession {
+/// Shared accounting for the resident-snapshot byte budget: one cap and
+/// usage counter per executor, updated by every session tree as nodes are
+/// inserted and evicted. A tree that pushes `used` over `cap` evicts its
+/// own least-recently-used nodes; other trees trim themselves on their next
+/// insertion, so the cap is enforced cooperatively across sessions.
+struct SnapshotBudget {
+    cap: AtomicU64,
+    used: AtomicU64,
+}
+
+impl SnapshotBudget {
+    fn new(cap: u64) -> SnapshotBudget {
+        SnapshotBudget {
+            cap: AtomicU64::new(cap),
+            used: AtomicU64::new(0),
+        }
+    }
+}
+
+/// One resident node of a session's snapshot tree.
+struct SnapshotNode {
+    /// 1-based injectable-call depth: the snapshot is paused just before
+    /// the `depth`-th injectable call of the workload (the root is depth 1,
+    /// today's flat-session pause point).
+    depth: usize,
+    /// Depth of the node this one was deepened from, for walking the
+    /// incremental-coverage chain (the root is its own parent).
+    parent_depth: usize,
     snapshot: MachineSnapshot,
-    /// Coverage recorded by the shared prefix, stripped out of the snapshot
-    /// so injection forks do not clone it; baseline-reachability forks
-    /// merge it back with their continuation's coverage.
+    /// Coverage recorded between the parent node and this one — each node
+    /// stores only its increment; merging the increments down the path
+    /// reconstructs the full prefix coverage (the root's share lives in
+    /// [`PreparedSession::prefix_coverage`]).
+    post_coverage: Coverage,
+    /// [`MachineSnapshot::resident_bytes`] at creation, charged against the
+    /// executor's snapshot budget.
+    bytes: u64,
+    /// LRU stamp: the tree's tick at the last fork taken from this node.
+    last_use: u64,
+}
+
+/// The per-`(target, workload)` snapshot tree: resident prefix snapshots
+/// keyed by injectable-call index, plus the certified call trace they are
+/// indexed by.
+struct SnapshotTree {
+    /// `trace[i]` is the function of injectable call `i + 1`. Only extended
+    /// while the RNG stayed pristine, so every entry is certified
+    /// deterministic (seed-independent) and `at_index` replays along it are
+    /// guaranteed to reproduce it.
+    trace: Vec<String>,
+    /// Resident nodes in ascending depth order; `nodes[0]` is the root and
+    /// is never evicted.
+    nodes: Vec<SnapshotNode>,
+    /// The trace covers the whole workload: no injectable calls exist
+    /// beyond it (the prefix, or a deepening run, ran to a clean exit).
+    complete: bool,
+    /// Deepening is disabled: a deepening run consumed randomness or ended
+    /// abnormally, so the trace cannot be extended. Resident nodes (all
+    /// certified before the cap) stay valid.
+    capped: bool,
+    /// Monotonic fork counter driving the LRU stamps.
+    ticks: u64,
+}
+
+impl SnapshotTree {
+    /// The 1-based depth of the workload's first call to `function`, when
+    /// it lies within the certified trace.
+    fn depth_of(&self, function: &str) -> Option<usize> {
+        self.trace.iter().position(|f| f == function).map(|p| p + 1)
+    }
+
+    /// Index of the deepest resident node at depth <= `depth` (the root,
+    /// at depth 1, always qualifies).
+    fn deepest_at_most(&self, depth: usize) -> usize {
+        self.nodes
+            .iter()
+            .rposition(|n| n.depth <= depth)
+            .unwrap_or(0)
+    }
+
+    /// Record `calls` as injectable calls `base..base + calls.len()`
+    /// (1-based), verifying overlap with the already-certified trace — a
+    /// mismatch would mean a deepening run diverged from the certified
+    /// path, which the pristine-RNG discipline is supposed to preclude.
+    fn record_calls(&mut self, base: usize, calls: &[String]) {
+        for (i, call) in calls.iter().enumerate() {
+            let index = base + i; // 1-based call index
+            match self.trace.get(index - 1) {
+                Some(known) => debug_assert_eq!(
+                    known, call,
+                    "deepening run diverged from the certified call trace"
+                ),
+                None => {
+                    debug_assert_eq!(self.trace.len(), index - 1);
+                    self.trace.push(call.clone());
+                }
+            }
+        }
+    }
+}
+
+/// One prepared session: the workload's snapshot tree, its prefix
+/// coverage, and the budget accounting forks are charged under.
+struct PreparedSession {
+    /// Coverage recorded by the shared prefix up to the root pause point,
+    /// stripped out of the snapshots so injection forks do not clone it;
+    /// baseline-reachability forks merge it back with their continuation's
+    /// coverage.
     prefix_coverage: Coverage,
-    /// `TestConfig::max_instructions` minus the prefix's consumption, so a
-    /// fork that runs away exhausts its budget exactly where a fresh run
-    /// would.
-    budget_left: u64,
+    /// The per-run instruction budget this session was prepared under
+    /// (forks run with this minus their fork point's consumption, so
+    /// budget exhaustion behaves exactly like a fresh run).
+    max_instructions: u64,
+    /// Shared resident-byte accounting with the owning executor.
+    budget: Arc<SnapshotBudget>,
+    tree: Mutex<SnapshotTree>,
+}
+
+impl PreparedSession {
+    /// Fork the root node (the flat-session pause point) — the entry point
+    /// baseline-reachability profiling resumes from.
+    fn root_fork(&self) -> (Machine, u64) {
+        let mut tree = self.tree.lock().unwrap();
+        fork_node(&mut tree, 0, self.max_instructions)
+    }
+}
+
+/// Fork the node at `index`, bumping its LRU stamp; returns the machine and
+/// the instruction budget it has left.
+fn fork_node(tree: &mut SnapshotTree, index: usize, max_instructions: u64) -> (Machine, u64) {
+    tree.ticks += 1;
+    let ticks = tree.ticks;
+    let node = &mut tree.nodes[index];
+    node.last_use = ticks;
+    let budget_left = max_instructions.saturating_sub(node.snapshot.stats().instructions);
+    (node.snapshot.fork(), budget_left)
+}
+
+/// What a deepening run is chasing: the workload's first call to a
+/// function the certified trace does not place yet (discovery), or an
+/// exact call index within the certified trace (materializing a resident
+/// node on an already-certified path).
+enum DeepenGoal<'a> {
+    Function(&'a str),
+    Index(usize),
 }
 
 /// Executes campaign work units against the stock `*-lite` targets.
@@ -156,6 +327,15 @@ pub struct StandardExecutor {
     images: Mutex<BTreeMap<String, Arc<Image>>>,
     /// Prepared sessions per `(target, workload)`, built at most once each.
     prepared: Mutex<BTreeMap<SessionKey, SessionSlot>>,
+    /// Per-run instruction budget, applied identically to fresh runs and
+    /// session prefixes/forks so the backends exhaust budgets at the same
+    /// boundary.
+    max_instructions: u64,
+    /// Deepest injectable-call index sessions may keep snapshots at; 1
+    /// degenerates to the flat single-snapshot-per-session model.
+    max_session_depth: usize,
+    /// Resident-snapshot byte accounting shared by every session tree.
+    snapshot_budget: Arc<SnapshotBudget>,
     /// Client requests issued per bft-lite cluster run.
     pub bft_requests: usize,
 }
@@ -179,8 +359,25 @@ impl StandardExecutor {
             injectable: OnceLock::new(),
             images: Mutex::new(BTreeMap::new()),
             prepared: Mutex::new(BTreeMap::new()),
+            max_instructions: TestConfig::default().max_instructions,
+            max_session_depth: usize::MAX,
+            snapshot_budget: Arc::new(SnapshotBudget::new(DEFAULT_SNAPSHOT_BUDGET)),
             bft_requests: 4,
         }
+    }
+
+    /// Override the per-run instruction budget. Applies to fresh runs and
+    /// sessions alike; call before any unit executes so every run of the
+    /// campaign is accounted under the same budget.
+    pub fn set_max_instructions(&mut self, max_instructions: u64) {
+        self.max_instructions = max_instructions;
+    }
+
+    /// Cap the injectable-call depth sessions keep snapshots at. `1`
+    /// restores the flat model: one snapshot per session at the first
+    /// injectable call, no deepening.
+    pub fn set_max_session_depth(&mut self, depth: usize) {
+        self.max_session_depth = depth.max(1);
     }
 
     /// The union of profiled failing library functions session images
@@ -235,51 +432,234 @@ impl StandardExecutor {
             .clone()
     }
 
-    /// Build the prefix snapshot for one `(target, workload)` pair: set up
-    /// the workload, run to the first injectable call, snapshot. Coverage
-    /// recording stays on during the prefix so baseline-reachability forks
-    /// can keep accumulating; injection forks switch it off.
+    /// Build the session tree root for one `(target, workload)` pair: set
+    /// up the workload, run to the first injectable call, snapshot.
+    /// Coverage recording stays on during the prefix so
+    /// baseline-reachability forks and deepening runs keep accumulating;
+    /// injection forks switch it off.
     ///
-    /// Returns `None` when the prefix consumed randomness: forks reseed
-    /// the RNG with their unit seed, which replays fresh-VM behavior only
-    /// from an untouched stream, so such a pair must run fresh to keep the
-    /// backends observably identical.
+    /// Returns `None` — refusing to snapshot, so the pair's units run
+    /// fresh — when resuming the prefix could not reproduce fresh-VM
+    /// behavior:
+    ///
+    /// * the prefix ended abnormally ([`RunExit::Fault`], [`RunExit::Blocked`]
+    ///   or [`RunExit::Budget`]) instead of pausing at an injectable call or
+    ///   exiting cleanly — a fork of such a state would resume mid-crash;
+    /// * the prefix already consumed the whole instruction budget, so a
+    ///   fork would have zero budget where a fresh run still reports the
+    ///   prefix's own termination;
+    /// * the prefix consumed randomness: forks reseed the RNG with their
+    ///   unit seed, which replays fresh-VM behavior only from an untouched
+    ///   stream.
     fn build_session(&self, target: &str, args: &[String]) -> Option<PreparedSession> {
         let image = self.session_image(target);
-        let (prep, budget) = if target == "bind-lite" {
+        let max_instructions = self.max_instructions;
+        let prep = if target == "bind-lite" {
             let net = NetHandle::default();
             let controller = networked_controller(net.clone());
             let mut workload = BindWorkload::typical(net);
             let config = TestConfig {
                 args: vec![workload.request_count().to_string()],
                 record_coverage: true,
+                max_instructions,
                 ..TestConfig::default()
             };
-            (
-                controller.prepare_session(image, self.injectable(), &mut workload, &config),
-                config.max_instructions,
-            )
+            controller.prepare_session(image, self.injectable(), &mut workload, &config)
         } else {
             let controller = standard_controller();
             let config = TestConfig {
                 args: args.to_vec(),
                 record_coverage: true,
+                max_instructions,
                 ..TestConfig::default()
             };
-            (
-                controller.prepare_session(image, self.injectable(), &mut FsSetupWorkload, &config),
-                config.max_instructions,
-            )
+            controller.prepare_session(image, self.injectable(), &mut FsSetupWorkload, &config)
         };
+        prep.fork_budget(max_instructions)?;
         let mut machine = prep.machine;
         if !machine.rng_is_pristine() {
             return None;
         }
+        let prefix_coverage = machine.take_coverage();
+        // `fork_budget` left only two prefix exits standing: paused at the
+        // first injectable call (the normal case), or a clean exit meaning
+        // the workload has no injectable calls at all — its trace is empty
+        // and complete, and forks of the finished machine replay the exit.
+        let mut trace = Vec::new();
+        let complete = match prep.prefix_exit {
+            RunExit::Paused => {
+                trace.push(prep.paused_at.clone().expect("paused prefix names a call"));
+                false
+            }
+            _ => true,
+        };
+        let snapshot = machine.snapshot();
+        let bytes = snapshot.resident_bytes();
+        self.snapshot_budget
+            .used
+            .fetch_add(bytes, Ordering::Relaxed);
+        let root = SnapshotNode {
+            depth: 1,
+            parent_depth: 1,
+            snapshot,
+            post_coverage: Coverage::new(),
+            bytes,
+            last_use: 0,
+        };
         Some(PreparedSession {
-            budget_left: budget.saturating_sub(prep.instructions_used),
-            prefix_coverage: machine.take_coverage(),
-            snapshot: machine.snapshot(),
+            prefix_coverage,
+            max_instructions,
+            budget: self.snapshot_budget.clone(),
+            tree: Mutex::new(SnapshotTree {
+                trace,
+                nodes: vec![root],
+                complete,
+                capped: false,
+                ticks: 0,
+            }),
         })
+    }
+
+    /// Fork the right tree node for a unit injecting `function`: the
+    /// deepest resident snapshot certified to precede the workload's first
+    /// interception of `function` (before that call every unit of the
+    /// session behaves identically, whatever it injects — the engine
+    /// charges trigger evaluations only against its own scenario's
+    /// function). When the certified trace does not place `function` yet,
+    /// one discovery run deepens the tree from its deepest node; when the
+    /// trace places it deeper than any resident node, the exact-depth node
+    /// is materialized by replaying the certified path from the deepest
+    /// ancestor. Either way later units of the same function fork the
+    /// resident node directly.
+    fn fork_for(&self, prepared: &PreparedSession, function: &str) -> (Machine, u64) {
+        let mut tree = prepared.tree.lock().unwrap();
+        if self.max_session_depth <= 1 {
+            return fork_node(&mut tree, 0, prepared.max_instructions);
+        }
+        if tree.depth_of(function).is_none() && !tree.complete && !tree.capped {
+            self.deepen(prepared, &mut tree, DeepenGoal::Function(function));
+        }
+        let target_depth = tree
+            .depth_of(function)
+            .unwrap_or(usize::MAX)
+            .min(self.max_session_depth);
+        let mut index = tree.deepest_at_most(target_depth);
+        if tree.nodes[index].depth < target_depth && target_depth <= tree.trace.len() {
+            self.deepen(prepared, &mut tree, DeepenGoal::Index(target_depth));
+            index = tree.deepest_at_most(target_depth);
+        }
+        fork_node(&mut tree, index, prepared.max_instructions)
+    }
+
+    /// Run one deepening pass over a session: fork a resident node, resume
+    /// it (unseeded — deepening stays on the root seed's path, which is
+    /// what the certified trace describes) until the goal, and store the
+    /// endpoint as a new resident node when it is certified reusable.
+    ///
+    /// The endpoint decides the tree's fate:
+    ///
+    /// * paused with a pristine RNG — the path up to the pause is
+    ///   deterministic for every seed; certify it into the trace and keep
+    ///   the snapshot;
+    /// * exited with a pristine RNG — certify the forwarded calls and mark
+    ///   the trace complete (the goal function is never called);
+    /// * anything else (randomness consumed, crash, block, budget) — cap
+    ///   the tree: nothing beyond the already-certified trace can be
+    ///   trusted seed-independently, so deepening stops. Resident nodes,
+    ///   all certified earlier, stay valid.
+    fn deepen(&self, prepared: &PreparedSession, tree: &mut SnapshotTree, goal: DeepenGoal) {
+        let base_index = match goal {
+            DeepenGoal::Function(_) => tree.nodes.len() - 1,
+            DeepenGoal::Index(depth) => tree.deepest_at_most(depth),
+        };
+        let base_depth = tree.nodes[base_index].depth;
+        let (machine, _) = fork_node(tree, base_index, prepared.max_instructions);
+        let tracked = self.injectable().iter().cloned();
+        let pause = match goal {
+            DeepenGoal::Function(function) => PauseAtCall::at_function(tracked, function),
+            // The base node pauses before call `base_depth`, so the resume
+            // observes that call first: absolute index `depth` is relative
+            // index `depth - base_depth + 1`.
+            DeepenGoal::Index(depth) => {
+                PauseAtCall::at_index(tracked, (depth - base_depth + 1) as u64)
+            }
+        };
+        let prep = standard_controller().deepen_session(machine, pause, prepared.max_instructions);
+        let mut machine = prep.machine;
+        if !machine.rng_is_pristine() {
+            tree.capped = true;
+            return;
+        }
+        match prep.prefix_exit {
+            RunExit::Paused => {
+                tree.record_calls(base_depth, &prep.forwarded);
+                let depth = base_depth + prep.forwarded.len();
+                tree.record_calls(
+                    depth,
+                    std::slice::from_ref(
+                        prep.paused_at.as_ref().expect("paused resume names a call"),
+                    ),
+                );
+                let post_coverage = machine.take_coverage();
+                let snapshot = machine.snapshot();
+                let bytes = snapshot.resident_bytes();
+                self.insert_node(
+                    prepared,
+                    tree,
+                    SnapshotNode {
+                        depth,
+                        parent_depth: base_depth,
+                        snapshot,
+                        post_coverage,
+                        bytes,
+                        last_use: tree.ticks,
+                    },
+                );
+            }
+            RunExit::Exited(_) => {
+                tree.record_calls(base_depth, &prep.forwarded);
+                tree.complete = true;
+            }
+            RunExit::Fault(_) | RunExit::Blocked | RunExit::Budget => tree.capped = true,
+        }
+    }
+
+    /// Insert a freshly certified node (kept in ascending depth order) and
+    /// charge its bytes, then evict this tree's least-recently-used
+    /// non-root nodes while the executor-wide budget is exceeded. Eviction
+    /// is local to the inserting tree — other trees trim themselves on
+    /// their next insertion — which approximates a global LRU without
+    /// cross-session locking.
+    fn insert_node(&self, prepared: &PreparedSession, tree: &mut SnapshotTree, node: SnapshotNode) {
+        let budget = &prepared.budget;
+        budget.used.fetch_add(node.bytes, Ordering::Relaxed);
+        let pos = tree
+            .nodes
+            .iter()
+            .position(|n| n.depth > node.depth)
+            .unwrap_or(tree.nodes.len());
+        tree.nodes.insert(pos, node);
+        while budget.used.load(Ordering::Relaxed) > budget.cap.load(Ordering::Relaxed)
+            && tree.nodes.len() > 1
+        {
+            let victim = tree.nodes[1..]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| (n.last_use, n.depth))
+                .map(|(i, _)| i + 1)
+                .expect("non-root nodes exist");
+            let evicted = tree.nodes.remove(victim);
+            budget.used.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            // Re-parent the victim's children, folding its coverage
+            // increment into theirs so every surviving node's ancestor
+            // chain still reconstructs the full prefix coverage.
+            for node in &mut tree.nodes[1..] {
+                if node.parent_depth == evicted.depth {
+                    node.parent_depth = evicted.parent_depth;
+                    node.post_coverage.merge(&evicted.post_coverage);
+                }
+            }
+        }
     }
 
     /// The memoized session of a `(target, workload)` pair, or `None` when
@@ -308,6 +688,67 @@ impl StandardExecutor {
             .values()
             .filter(|slot| matches!(slot.get(), Some(Some(_))))
             .count()
+    }
+
+    /// Iterate over every prepared session.
+    fn for_each_session(&self, mut f: impl FnMut(&PreparedSession)) {
+        let slots: Vec<SessionSlot> = self.prepared.lock().unwrap().values().cloned().collect();
+        for slot in slots {
+            if let Some(Some(prepared)) = slot.get() {
+                f(prepared);
+            }
+        }
+    }
+
+    /// Total resident snapshot nodes across every prepared session (each
+    /// session contributes at least its root).
+    pub fn snapshot_nodes(&self) -> usize {
+        let mut total = 0;
+        self.for_each_session(|p| total += p.tree.lock().unwrap().nodes.len());
+        total
+    }
+
+    /// Deepest injectable-call index any resident snapshot sits at.
+    pub fn max_session_node_depth(&self) -> usize {
+        let mut max = 0;
+        self.for_each_session(|p| {
+            let tree = p.tree.lock().unwrap();
+            max = max.max(tree.nodes.last().map(|n| n.depth).unwrap_or(0));
+        });
+        max
+    }
+
+    /// The full prefix coverage at the node a unit injecting `function`
+    /// would fork in this session: the root prefix's coverage merged with
+    /// each tree node's increment down the fork point's ancestor chain.
+    /// `None` when the pair has no prepared session.
+    pub fn session_path_coverage(
+        &self,
+        target: &str,
+        args: &[String],
+        function: &str,
+    ) -> Option<Coverage> {
+        let prepared = self.prepared_session(target, args)?;
+        let tree = prepared.tree.lock().unwrap();
+        let target_depth = tree
+            .depth_of(function)
+            .unwrap_or(usize::MAX)
+            .min(self.max_session_depth);
+        let mut coverage = prepared.prefix_coverage.clone();
+        let mut index = tree.deepest_at_most(target_depth);
+        loop {
+            let node = &tree.nodes[index];
+            coverage.merge(&node.post_coverage);
+            if index == 0 {
+                break;
+            }
+            index = tree
+                .nodes
+                .iter()
+                .position(|n| n.depth == node.parent_depth)
+                .expect("ancestor chain is resident");
+        }
+        Some(coverage)
     }
 
     /// Run each single-process target's default suite once with no
@@ -343,9 +784,9 @@ impl StandardExecutor {
                 let workload_seed = derive_seed(seed, workload as u64);
                 match self.prepared_session(&target, &args) {
                     Some(prepared) => {
-                        let mut machine = prepared.snapshot.fork();
+                        let (mut machine, budget_left) = prepared.root_fork();
                         machine.reseed(workload_seed);
-                        machine.run(&mut NoHooks, prepared.budget_left);
+                        machine.run(&mut NoHooks, budget_left);
                         baseline.merge(&prepared.prefix_coverage);
                         baseline.merge(&machine.coverage);
                     }
@@ -353,13 +794,14 @@ impl StandardExecutor {
                     // baseline coverage the pre-session way: one full
                     // no-fault run.
                     None => {
-                        let report = run_target(
+                        let report = run_target_with_budget(
                             &target,
                             exe,
                             &lfi_core::Scenario::new(),
                             args,
                             true,
                             workload_seed,
+                            self.max_instructions,
                         );
                         baseline.merge(&report.coverage);
                     }
@@ -405,13 +847,14 @@ impl StandardExecutor {
     }
 
     fn execute_single(&self, exe: &Module, unit: &WorkUnit) -> Execution {
-        let report = run_target(
+        let report = run_target_with_budget(
             &unit.point.target,
             exe,
             &unit.scenario,
             unit.args.clone(),
             false,
             unit.seed,
+            self.max_instructions,
         );
         let outcome = match report.outcome {
             TestOutcome::Passed => OutcomeKind::Passed,
@@ -477,11 +920,23 @@ impl Executor for StandardExecutor {
         self.prepared_session(target, args).map(Session::new)
     }
 
+    fn set_snapshot_budget(&self, bytes: u64) {
+        self.snapshot_budget.cap.store(bytes, Ordering::Relaxed);
+    }
+
+    fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_budget.used.load(Ordering::Relaxed)
+    }
+
     fn execute_from(&self, session: &Session, unit: &WorkUnit) -> Execution {
         let prepared = session
             .downcast_ref::<Arc<PreparedSession>>()
             .expect("session prepared by StandardExecutor");
-        let mut machine = prepared.snapshot.fork();
+        // Fork the deepest snapshot certified to precede the workload's
+        // first interception of the unit's function. The certified path is
+        // RNG-free, so reseeding the fork here leaves the unit's stream in
+        // exactly the state a fresh run's would be at the same point.
+        let (mut machine, budget_left) = self.fork_for(prepared, &unit.point.function);
         machine.reseed(unit.seed);
         machine.set_record_coverage(false);
         // Mirror the fresh path's engine setup exactly: the stock registry
@@ -491,7 +946,7 @@ impl Executor for StandardExecutor {
         let mut engine =
             InjectionEngine::new(unit.scenario.clone()).expect("unit scenario must compile");
         engine.trigger_eval_cost = TestConfig::default().trigger_eval_cost;
-        let exit = machine.run(&mut engine, prepared.budget_left);
+        let exit = machine.run(&mut engine, budget_left);
         let (outcome, crashes) = match &exit {
             RunExit::Exited(0) => (OutcomeKind::Passed, Vec::new()),
             RunExit::Exited(code) => (OutcomeKind::CleanFailure(*code), Vec::new()),

@@ -81,6 +81,88 @@ fn snapshot_forks_match_fresh_vms_on_the_networked_target() {
     assert_backends_agree(&executor, &space, 1);
 }
 
+/// The snapshot-tree extension: with deepening enabled (the default), the
+/// executor keeps snapshots *beyond* the per-session roots — and the
+/// records still match both the flat single-snapshot model
+/// (`max_session_depth = 1`, the pre-tree behavior) and fresh VMs, byte
+/// for byte.
+#[test]
+fn deep_snapshot_trees_match_flat_sessions_and_fresh_vms() {
+    use lfi_campaign::Executor;
+
+    // Functions chosen to sit at different first-call depths in the
+    // git-lite workloads, so the tree genuinely deepens.
+    let functions = &["opendir", "setenv", "readlink", "close", "read"];
+
+    let tree_executor = StandardExecutor::new(&["git-lite"]);
+    let space = hunt_space(&tree_executor, &["git-lite"], functions);
+    let (tree, tree_sessions) = run_with(&tree_executor, &space, 2, ExecBackend::Snapshot);
+    assert!(tree_sessions >= 7, "one session per git-lite workload");
+    assert!(
+        tree_executor.snapshot_nodes() > tree_sessions,
+        "deepening must store nodes beyond the {tree_sessions} session roots, got {}",
+        tree_executor.snapshot_nodes()
+    );
+    assert!(
+        tree_executor.max_session_node_depth() > 1,
+        "some resident snapshot must sit past the first injectable call"
+    );
+    assert!(
+        tree_executor.snapshot_bytes() > 0,
+        "resident nodes are charged against the snapshot budget"
+    );
+
+    let mut flat_executor = StandardExecutor::new(&["git-lite"]);
+    flat_executor.set_max_session_depth(1);
+    let flat_space = hunt_space(&flat_executor, &["git-lite"], functions);
+    let (flat, flat_sessions) = run_with(&flat_executor, &flat_space, 2, ExecBackend::Snapshot);
+    assert_eq!(
+        flat_executor.snapshot_nodes(),
+        flat_sessions,
+        "depth 1 keeps exactly the roots"
+    );
+    assert_eq!(flat_executor.max_session_node_depth(), 1);
+
+    let fresh_executor = StandardExecutor::new(&["git-lite"]);
+    let fresh_space = hunt_space(&fresh_executor, &["git-lite"], functions);
+    let (fresh, _) = run_with(&fresh_executor, &fresh_space, 2, ExecBackend::Fresh);
+
+    assert_eq!(fresh.records, tree.records);
+    assert_eq!(fresh.records, flat.records);
+    assert_eq!(fresh.triage.buckets, tree.triage.buckets);
+}
+
+/// A starved snapshot budget forces constant eviction; results must not
+/// change (eviction re-derives snapshots, never alters unit execution).
+#[test]
+fn a_tiny_snapshot_budget_only_costs_time_never_correctness() {
+    use lfi_campaign::Executor;
+
+    let starved = StandardExecutor::new(&["git-lite"]);
+    let space = hunt_space(&starved, &["git-lite"], &["opendir", "setenv"]);
+    let driver = Campaign::builder(space.clone(), &starved)
+        .jobs(2)
+        .seed(7)
+        .backend(ExecBackend::Snapshot)
+        .snapshot_budget(1) // below even one root: evict everything evictable
+        .build();
+    let starved_report = driver.run_to_completion().report;
+    assert_eq!(
+        starved.snapshot_nodes(),
+        starved.sessions_prepared(),
+        "a 1-byte budget keeps only the unevictable roots"
+    );
+
+    let roomy = StandardExecutor::new(&["git-lite"]);
+    let roomy_space = hunt_space(&roomy, &["git-lite"], &["opendir", "setenv"]);
+    let (roomy_report, _) = run_with(&roomy, &roomy_space, 2, ExecBackend::Snapshot);
+    assert!(
+        roomy.snapshot_bytes() > starved.snapshot_bytes(),
+        "the default budget retains more resident bytes than the starved one"
+    );
+    assert_eq!(starved_report.records, roomy_report.records);
+}
+
 #[test]
 fn cluster_targets_fall_back_to_fresh_execution() {
     let executor = StandardExecutor::new(&["bft-lite"]);

@@ -18,7 +18,7 @@ use lfi_vm::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::runtime::{InjectionEngine, InjectionLog, PauseAtFirstCall};
+use crate::runtime::{InjectionEngine, InjectionLog, PauseAtCall};
 use crate::scenario::Scenario;
 use crate::triggers::{TriggerBuildError, TriggerRegistry};
 
@@ -148,20 +148,50 @@ pub struct RunToCompletion;
 
 impl Workload for RunToCompletion {}
 
-/// The result of [`Controller::prepare_session`]: a workload paused at its
-/// first injectable library call (or run to its terminal state when it
-/// never makes one). Snapshot `machine` to fork per-scenario runs from it.
+/// The result of [`Controller::prepare_session`] /
+/// [`Controller::deepen_session`]: a workload paused at an injectable
+/// library call (or run to its terminal state when it never makes one).
+/// Snapshot `machine` to fork per-scenario runs from it.
 #[derive(Debug)]
 pub struct SessionPrep {
-    /// The machine, paused before its first injectable call — or finished.
+    /// The machine, paused before an injectable call — or finished.
     pub machine: Machine,
-    /// The function whose first call paused the run, if the run paused.
+    /// The function whose call paused the run, if the run paused.
     pub paused_at: Option<String>,
     /// How the prefix stopped ([`RunExit::Paused`] in the common case).
     pub prefix_exit: RunExit,
     /// Instructions consumed by the shared prefix (forks subtract this from
     /// the per-run budget so budget exhaustion behaves like a fresh run).
     pub instructions_used: u64,
+    /// Injectable calls forwarded before the pause, in call order (empty
+    /// for a first-call prepare; deepening runs record the calls they
+    /// replayed past, which is how session trees extend their call trace).
+    pub forwarded: Vec<String>,
+}
+
+impl SessionPrep {
+    /// The instruction budget left for forks of this prefix, or `None`
+    /// when the prefix must not back a session at all:
+    ///
+    /// * it ended abnormally — [`RunExit::Fault`], [`RunExit::Blocked`] or
+    ///   [`RunExit::Budget`] — so every fork would just replay the broken
+    ///   terminal state instead of a real injection run; or
+    /// * it consumed the entire instruction budget, so every fork would
+    ///   instantly exit [`RunExit::Budget`] and triage as hung.
+    ///
+    /// Callers should fall back to fresh execution on `None`, exactly like
+    /// the randomness-consuming-prefix refusal.
+    pub fn fork_budget(&self, max_instructions: u64) -> Option<u64> {
+        match self.prefix_exit {
+            RunExit::Fault(_) | RunExit::Blocked | RunExit::Budget => return None,
+            RunExit::Paused | RunExit::Exited(_) => {}
+        }
+        let left = max_instructions.saturating_sub(self.instructions_used);
+        if left == 0 {
+            return None;
+        }
+        Some(left)
+    }
 }
 
 /// Controller errors.
@@ -309,9 +339,9 @@ impl Controller {
     ///
     /// The image must interpose (at least) `functions`; the workload's
     /// `setup` runs, then the program executes under a
-    /// [`PauseAtFirstCall`] handler that forwards every interception until
-    /// one of the pause functions is called. The machine stops with the
-    /// program counter still on that call, so a snapshot taken from the
+    /// [`PauseAtCall::at_first`] handler that forwards every interception
+    /// until one of the pause functions is called. The machine stops with
+    /// the program counter still on that call, so a snapshot taken from the
     /// result can be resumed under any [`InjectionEngine`], which then sees
     /// the very same call as its first interception. When the workload
     /// never calls a pause function, the machine simply runs to its
@@ -325,14 +355,75 @@ impl Controller {
     ) -> SessionPrep {
         let mut machine = self.machine_from_image(image, config);
         workload.setup(&mut machine);
-        let mut pause = PauseAtFirstCall::new(functions.iter().cloned());
-        let exit = workload.drive(&mut machine, &mut pause, config.max_instructions);
+        let pause = PauseAtCall::at_first(functions.iter().cloned());
+        Controller::finish_prep(machine, pause, workload, config.max_instructions)
+    }
+
+    /// Resume a machine paused by a previous [`Controller::prepare_session`]
+    /// or `deepen_session` stop and run it to the next pause point of
+    /// `pause` — the deepening step session trees are grown by.
+    ///
+    /// The machine is typically a [`lfi_vm::MachineSnapshot`] fork of an
+    /// existing session node, *not* reseeded, so the deepened prefix stays
+    /// on the root seed's deterministic path (callers must still check
+    /// [`Machine::rng_is_pristine`] before snapshotting the result, exactly
+    /// as for a first-call prefix). `max_instructions` is the **total**
+    /// per-run instruction budget counted from process start; the method
+    /// charges the resumed machine only for what is left of it. Every
+    /// injectable call forwarded on the way is recorded in
+    /// [`SessionPrep::forwarded`], extending the caller's call trace.
+    pub fn deepen_session(
+        &self,
+        mut machine: Machine,
+        mut pause: PauseAtCall,
+        max_instructions: u64,
+    ) -> SessionPrep {
+        let remaining = max_instructions.saturating_sub(machine.stats.instructions);
+        // Deepening resumes mid-drive, after every stock workload's setup
+        // already ran and queued its stimulus; the drive phase itself is a
+        // plain `Machine::run` for every stock workload, so resuming with
+        // `run` replays exactly what the original drive would have done.
+        let exit = machine.run(&mut pause, remaining);
         let instructions_used = machine.stats.instructions;
         SessionPrep {
             machine,
             paused_at: pause.paused_at,
             prefix_exit: exit,
             instructions_used,
+            forwarded: pause.forwarded,
+        }
+    }
+
+    /// Run a workload to its terminal state, recording the order of every
+    /// call to `functions` — the injectable-call trace that session trees
+    /// are keyed by (used by benches to measure injection depth).
+    pub fn trace_session_calls(
+        &self,
+        image: Arc<Image>,
+        functions: &[String],
+        workload: &mut dyn Workload,
+        config: &TestConfig,
+    ) -> SessionPrep {
+        let mut machine = self.machine_from_image(image, config);
+        workload.setup(&mut machine);
+        let pause = PauseAtCall::trace_only(functions.iter().cloned());
+        Controller::finish_prep(machine, pause, workload, config.max_instructions)
+    }
+
+    fn finish_prep(
+        mut machine: Machine,
+        mut pause: PauseAtCall,
+        workload: &mut dyn Workload,
+        max_instructions: u64,
+    ) -> SessionPrep {
+        let exit = workload.drive(&mut machine, &mut pause, max_instructions);
+        let instructions_used = machine.stats.instructions;
+        SessionPrep {
+            machine,
+            paused_at: pause.paused_at,
+            prefix_exit: exit,
+            instructions_used,
+            forwarded: pause.forwarded,
         }
     }
 

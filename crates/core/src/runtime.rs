@@ -328,44 +328,122 @@ impl HookHandler for InjectionEngine {
     }
 }
 
-/// A handler that forwards every intercepted call until the first call to
-/// one of a given set of functions, where it pauses the machine instead.
+/// Where a [`PauseAtCall`] handler stops the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PauseMode {
+    /// Pause before the k-th tracked call (1-based). `u64::MAX` in
+    /// practice never fires: the handler just records the trace.
+    AtIndex(u64),
+    /// Pause before the first call to one specific tracked function,
+    /// forwarding (and recording) every other tracked call on the way.
+    AtFunction(String),
+}
+
+/// A handler that forwards every intercepted call while counting calls to
+/// a *tracked* set of functions (the injectable library functions), and
+/// pauses the machine just before a chosen one of them executes.
 ///
 /// The pause happens *before* the call executes ([`HookAction::Pause`]
-/// leaves the program counter on the call instruction), so a
-/// [`lfi_vm::MachineSnapshot`] taken at the pause point can be resumed
-/// under a different handler — typically an [`InjectionEngine`] — which
-/// then observes that same call as its first interception. This is the
-/// runtime half of session-based execution: the workload prefix up to the
-/// first injectable library call runs once, and every injection scenario
-/// forks from there.
-#[derive(Debug, Clone, Default)]
-pub struct PauseAtFirstCall {
-    pause_on: std::collections::BTreeSet<String>,
+/// leaves the program counter on the call instruction and rolls the
+/// counters back), so a [`lfi_vm::MachineSnapshot`] taken at the pause
+/// point can be resumed under a different handler — typically an
+/// [`InjectionEngine`] — which then observes that same call as its next
+/// interception. This is the runtime half of session-based execution: the
+/// workload prefix up to the k-th injectable library call runs once, and
+/// every injection scenario forks from there.
+///
+/// Three pause policies:
+///
+/// * [`PauseAtCall::at_first`] — before the first tracked call (the flat
+///   session prefix of one snapshot per `(target, workload)` pair);
+/// * [`PauseAtCall::at_index`] — before the k-th tracked call (1-based),
+///   used to materialize deeper snapshot-tree nodes along a known trace;
+/// * [`PauseAtCall::at_function`] — before the first call to one specific
+///   function, used to *discover* that function's depth while recording
+///   every tracked call forwarded on the way in [`PauseAtCall::forwarded`].
+///
+/// The paused call is **not** counted or recorded: on resume (under any
+/// handler) it is re-observed, so a handler that pauses must not be reused
+/// to resume the same machine — it would pause on the same call forever.
+#[derive(Debug, Clone)]
+pub struct PauseAtCall {
+    tracked: std::collections::BTreeSet<String>,
+    mode: PauseMode,
+    /// Tracked calls already forwarded (1-based position = injectable-call
+    /// index). The paused call itself is in `paused_at`, not here.
+    pub forwarded: Vec<String>,
     /// The function whose call triggered the pause, once paused.
     pub paused_at: Option<String>,
 }
 
-impl PauseAtFirstCall {
-    /// Pause at the first call to any of `functions`.
-    pub fn new<I, S>(functions: I) -> PauseAtFirstCall
+impl PauseAtCall {
+    fn with_mode<I, S>(functions: I, mode: PauseMode) -> PauseAtCall
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        PauseAtFirstCall {
-            pause_on: functions.into_iter().map(Into::into).collect(),
+        PauseAtCall {
+            tracked: functions.into_iter().map(Into::into).collect(),
+            mode,
+            forwarded: Vec::new(),
             paused_at: None,
         }
     }
+
+    /// Pause before the first call to any of `functions`.
+    pub fn at_first<I, S>(functions: I) -> PauseAtCall
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PauseAtCall::at_index(functions, 1)
+    }
+
+    /// Pause before the k-th (1-based) call to any of `functions`; the
+    /// k-1 earlier tracked calls are forwarded and recorded in order.
+    pub fn at_index<I, S>(functions: I, k: u64) -> PauseAtCall
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PauseAtCall::with_mode(functions, PauseMode::AtIndex(k.max(1)))
+    }
+
+    /// Pause before the first call to `function` specifically, forwarding
+    /// (and recording) calls to the other tracked `functions` on the way.
+    pub fn at_function<I, S>(functions: I, function: impl Into<String>) -> PauseAtCall
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PauseAtCall::with_mode(functions, PauseMode::AtFunction(function.into()))
+    }
+
+    /// Never pause: run to the terminal state recording the complete
+    /// tracked-call trace in [`PauseAtCall::forwarded`].
+    pub fn trace_only<I, S>(functions: I) -> PauseAtCall
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PauseAtCall::with_mode(functions, PauseMode::AtIndex(u64::MAX))
+    }
 }
 
-impl HookHandler for PauseAtFirstCall {
+impl HookHandler for PauseAtCall {
     fn on_call(&mut self, func: &str, _ctx: &mut CallContext<'_>) -> HookAction {
-        if self.pause_on.contains(func) {
+        if !self.tracked.contains(func) {
+            return HookAction::Forward;
+        }
+        let pause_here = match &self.mode {
+            PauseMode::AtIndex(k) => self.forwarded.len() as u64 + 1 == *k,
+            PauseMode::AtFunction(f) => f == func,
+        };
+        if pause_here {
             self.paused_at = Some(func.to_string());
             HookAction::Pause
         } else {
+            self.forwarded.push(func.to_string());
             HookAction::Forward
         }
     }

@@ -69,6 +69,23 @@ impl SimFs {
         fs
     }
 
+    /// Total bytes held by the filesystem: path names plus regular-file
+    /// contents (symlink targets count as their path length). Used by
+    /// session caches to estimate the resident size of a snapshot.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|(path, node)| {
+                path.len() as u64
+                    + match node {
+                        Node::File(data) => data.len() as u64,
+                        Node::Symlink(target) => target.len() as u64,
+                        Node::Dir => 0,
+                    }
+            })
+            .sum()
+    }
+
     /// Mark a path so that reads and writes on it fail with `EIO`.
     ///
     /// This is how workloads emulate the paper's "file exists but reading

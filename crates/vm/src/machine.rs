@@ -1223,6 +1223,17 @@ impl MachineSnapshot {
     pub fn is_finished(&self) -> bool {
         self.machine.finished.is_some()
     }
+
+    /// An upper-bound estimate of the bytes this snapshot keeps resident:
+    /// mapped memory (counted in full, although copy-on-write pages may be
+    /// physically shared with related snapshots), filesystem contents, and
+    /// captured program output. Session caches use this to enforce an LRU
+    /// byte budget on resident snapshot-tree nodes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.machine.mem.mapped_bytes()
+            + self.machine.fs.total_bytes()
+            + self.machine.output.len() as u64
+    }
 }
 
 impl fmt::Debug for MachineSnapshot {

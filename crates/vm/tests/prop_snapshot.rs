@@ -8,7 +8,9 @@
 //! there on.
 
 use lfi_asm::assemble_text;
-use lfi_vm::{Loader, Machine, NoHooks, ProcessConfig};
+use lfi_vm::{
+    CallContext, HookAction, HookHandler, Loader, Machine, NoHooks, ProcessConfig, RunExit,
+};
 use proptest::prelude::*;
 
 const MINILIB: &str = r#"
@@ -87,6 +89,45 @@ fn build_machine() -> Machine {
     machine
 }
 
+/// Like [`build_machine`], but with every library function interposed —
+/// the session-image configuration, where pausing at injectable calls is
+/// possible. Both lanes of the depth property use this image: the
+/// fingerprint covers hook statistics, so interposition must match.
+fn build_interposed_machine() -> Machine {
+    let lib = assemble_text(MINILIB).expect("assemble minilib");
+    let exe = assemble_text(APP).expect("assemble app");
+    let mut loader = Loader::new();
+    loader.add_library(lib);
+    loader.interpose_all(["my_open", "my_write", "my_sbrk"].map(String::from));
+    let image = loader.load(exe).expect("load");
+    let mut machine = Machine::new(
+        image,
+        ProcessConfig {
+            record_coverage: true,
+            ..ProcessConfig::default()
+        },
+    );
+    machine.fs_mut().write_file("/log.txt", b"").unwrap();
+    machine
+}
+
+/// Pauses before the `k`-th intercepted call, forwarding the first `k-1` —
+/// the depth-`k` pause point session trees snapshot at.
+struct PauseAtNth {
+    remaining: u64,
+}
+
+impl HookHandler for PauseAtNth {
+    fn on_call(&mut self, _func: &str, _ctx: &mut CallContext<'_>) -> HookAction {
+        if self.remaining <= 1 {
+            HookAction::Pause
+        } else {
+            self.remaining -= 1;
+            HookAction::Forward
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -144,5 +185,43 @@ proptest! {
             machine.fs().read_file("/log.txt").unwrap(),
             fork.fs().read_file("/log.txt").unwrap()
         );
+    }
+
+    /// The snapshot-tree invariant: for an arbitrary injectable-call depth
+    /// `k`, pausing before the `k`-th intercepted call, snapshotting,
+    /// forking, and running the fork to the end is byte-identical to an
+    /// uninterrupted run of the same image — state fingerprint, exit,
+    /// output, all of it. The app makes ~302 intercepted calls, so the
+    /// range also exercises `k` past the end (no pause: the run itself
+    /// must match).
+    #[test]
+    fn forking_at_any_call_depth_matches_an_uninterrupted_run(
+        k in 1u64..320,
+    ) {
+        let mut fresh = build_interposed_machine();
+        let fresh_exit = fresh.run_to_completion(&mut NoHooks);
+
+        let mut machine = build_interposed_machine();
+        let exit = machine.run_to_completion(&mut PauseAtNth { remaining: k });
+        match exit {
+            RunExit::Paused => {
+                let snapshot = machine.snapshot();
+                let mut fork = snapshot.fork();
+                let fork_exit = fork.run_to_completion(&mut NoHooks);
+                prop_assert_eq!(fork_exit, fresh_exit);
+                prop_assert_eq!(fork.state_fingerprint(), fresh.state_fingerprint());
+                prop_assert_eq!(fork.output_string(), fresh.output_string());
+                prop_assert_eq!(
+                    fork.fs().read_file("/log.txt").unwrap(),
+                    fresh.fs().read_file("/log.txt").unwrap()
+                );
+            }
+            other => {
+                // Depth beyond the last intercepted call: no pause point
+                // exists and the run completed on its own.
+                prop_assert_eq!(other, fresh_exit);
+                prop_assert_eq!(machine.state_fingerprint(), fresh.state_fingerprint());
+            }
+        }
     }
 }
