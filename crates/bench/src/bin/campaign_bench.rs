@@ -19,11 +19,21 @@
 //!   records and crash signatures, and all 11 known bugs found by each.
 //!   (The hunt's wall clock is dominated by bft-lite cluster runs, which
 //!   cannot snapshot and always run fresh.)
+//! * **telemetry** — the snapshot sweep with metrics collection on (the
+//!   default registry) vs off (a no-op registry installed with
+//!   [`StandardExecutor::set_telemetry`]), best of two runs each,
+//!   reporting the collection overhead in percent.
+//!
+//! Instrumented lanes also report the snapshot-tree cache hit rate and
+//! the per-phase time split (session prepare, tree fork/deepen, unit
+//! execute, triage, checkpoint writes) from the campaign's
+//! [`lfi_campaign::MetricsSnapshot`]; the sweep lane's full snapshot is
+//! written to `--metrics-out` as a second artifact.
 //!
 //! Exits non-zero if the backends disagree anywhere or a lane misses a
 //! known bug.
 //!
-//! Usage: campaign_bench [--jobs N] [--out FILE]
+//! Usage: campaign_bench [--jobs N] [--out FILE] [--metrics-out FILE]
 
 use std::collections::BTreeMap;
 use std::process::exit;
@@ -31,7 +41,8 @@ use std::time::Instant;
 
 use lfi_bench::{match_known_bugs, table1_fault_space};
 use lfi_campaign::{
-    default_test_suite, Campaign, CampaignReport, ExecBackend, FaultSpace, StandardExecutor,
+    default_test_suite, Campaign, CampaignReport, ExecBackend, FaultSpace, MetricsSnapshot,
+    StandardExecutor, Telemetry,
 };
 use lfi_core::TestConfig;
 use lfi_json::Value;
@@ -40,7 +51,7 @@ use lfi_targets::{git_lite, standard_controller, FsSetupWorkload, KNOWN_BUGS};
 const HUNT_TARGETS: [&str; 4] = ["bind-lite", "git-lite", "db-lite", "bft-lite"];
 
 fn usage() -> ! {
-    eprintln!("usage: campaign_bench [--jobs N] [--out FILE]");
+    eprintln!("usage: campaign_bench [--jobs N] [--out FILE] [--metrics-out FILE]");
     exit(2);
 }
 
@@ -73,8 +84,39 @@ fn run_lane(
     }
 }
 
-fn lane_json(section: &str, jobs: usize, lane: &Lane) -> Value {
+/// The snapshot-tree cache hit rate of an instrumented lane, as a
+/// fraction string, or `Null` when the lane recorded no forks (fresh
+/// backend, or telemetry off).
+fn cache_hit_rate_json(metrics: Option<&MetricsSnapshot>) -> Value {
+    let Some(metrics) = metrics else {
+        return Value::Null;
+    };
+    let hits = metrics.counter("tree_fork_hits");
+    let total = hits + metrics.counter("tree_fork_misses");
+    if total == 0 {
+        return Value::Null;
+    }
+    Value::Str(format!("{:.3}", hits as f64 / total as f64))
+}
+
+/// Total microseconds spent per instrumented phase (histogram sums).
+fn phase_micros_json(metrics: &MetricsSnapshot) -> Value {
+    let sum = |name: &str| Value::Int(metrics.histogram(name).map(|h| h.sum).unwrap_or(0) as i64);
     Value::Obj(vec![
+        ("session_prepare".to_string(), sum("session_prepare_micros")),
+        ("tree_fork".to_string(), sum("tree_fork_micros")),
+        ("tree_deepen".to_string(), sum("tree_deepen_micros")),
+        ("unit_execute".to_string(), sum("unit_execute_micros")),
+        ("triage".to_string(), sum("triage_micros")),
+        (
+            "checkpoint_write".to_string(),
+            sum("checkpoint_write_micros"),
+        ),
+    ])
+}
+
+fn lane_json(section: &str, jobs: usize, lane: &Lane) -> Value {
+    let mut fields = vec![
         ("section".to_string(), Value::Str(section.to_string())),
         ("backend".to_string(), Value::Str(lane.backend.to_string())),
         ("jobs".to_string(), Value::Int(jobs as i64)),
@@ -97,7 +139,15 @@ fn lane_json(section: &str, jobs: usize, lane: &Lane) -> Value {
             "distinct_crash_signatures".to_string(),
             Value::Int(lane.report.triage.distinct_crashes() as i64),
         ),
-    ])
+        (
+            "cache_hit_rate".to_string(),
+            cache_hit_rate_json(lane.report.metrics.as_ref()),
+        ),
+    ];
+    if let Some(metrics) = &lane.report.metrics {
+        fields.push(("phase_micros".to_string(), phase_micros_json(metrics)));
+    }
+    Value::Obj(fields)
 }
 
 fn print_lane(section: &str, jobs: usize, lane: &Lane) {
@@ -142,6 +192,7 @@ fn git_min_depths() -> BTreeMap<String, usize> {
 fn main() {
     let mut jobs = 4usize;
     let mut out = "BENCH_campaign.json".to_string();
+    let mut metrics_out = "BENCH_campaign_metrics.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -152,6 +203,7 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--out" => out = args.next().unwrap_or_else(|| usage()),
+            "--metrics-out" => metrics_out = args.next().unwrap_or_else(|| usage()),
             _ => usage(),
         }
     }
@@ -172,6 +224,33 @@ fn main() {
     if sweep_fresh.report.records != sweep_snapshot.report.records {
         failures.push("throughput lanes produced different records".to_string());
     }
+
+    // Telemetry section: the same snapshot sweep with collection on (the
+    // executor's default registry) vs off (a no-op registry). Best of two
+    // runs per lane to dampen scheduler noise; the delta is the cost of
+    // the instrumentation itself.
+    let make_git_quiet = || {
+        let mut executor = StandardExecutor::new(&["git-lite"]);
+        executor.set_telemetry(Telemetry::disabled());
+        executor
+    };
+    let best_of_two = |make: &dyn Fn() -> StandardExecutor| {
+        let first = run_lane(make, &git_space, jobs, ExecBackend::Snapshot);
+        let second = run_lane(make, &git_space, jobs, ExecBackend::Snapshot);
+        if first.seconds <= second.seconds {
+            first
+        } else {
+            second
+        }
+    };
+    let telemetry_on = best_of_two(&make_git);
+    let telemetry_off = best_of_two(&make_git_quiet);
+    if telemetry_on.report.records != telemetry_off.report.records {
+        failures.push("telemetry lanes produced different records".to_string());
+    }
+    let telemetry_overhead_pct = (telemetry_on.seconds - telemetry_off.seconds)
+        / telemetry_off.seconds.max(f64::EPSILON)
+        * 100.0;
 
     // Depth section: flat-session vs snapshot-tree throughput per
     // injection-depth bucket of the git-lite space.
@@ -250,6 +329,8 @@ fn main() {
     for (label, lane) in &depth_lanes {
         lanes.push(lane_json(label, jobs, lane));
     }
+    lanes.push(lane_json("telemetry on", jobs, &telemetry_on));
+    lanes.push(lane_json("telemetry off", jobs, &telemetry_off));
     lanes.push(lane_json("table1", jobs, &hunt_fresh));
     lanes.push(lane_json("table1", jobs, &hunt_snapshot));
     let doc = Value::Obj(vec![
@@ -261,6 +342,10 @@ fn main() {
         (
             "snapshot_speedup".to_string(),
             Value::Str(format!("{speedup:.2}")),
+        ),
+        (
+            "telemetry_overhead_pct".to_string(),
+            Value::Str(format!("{telemetry_overhead_pct:.1}")),
         ),
         (
             "tree_speedup_by_depth".to_string(),
@@ -283,6 +368,15 @@ fn main() {
         ("parity".to_string(), Value::Bool(failures.is_empty())),
     ]);
     std::fs::write(&out, doc.to_pretty()).expect("write benchmark artifact");
+    // Full metrics capture of the instrumented sweep lane, as its own
+    // artifact (CI uploads it next to the lane summary).
+    let metrics_doc = telemetry_on
+        .report
+        .metrics
+        .as_ref()
+        .map(|metrics| metrics.to_value().to_pretty())
+        .unwrap_or_else(|| "{}".to_string());
+    std::fs::write(&metrics_out, metrics_doc).expect("write metrics artifact");
 
     print_lane("throughput", jobs, &sweep_fresh);
     print_lane("throughput", jobs, &sweep_snapshot);
@@ -300,7 +394,11 @@ fn main() {
             KNOWN_BUGS.len()
         );
     }
+    print_lane("telemetry on", jobs, &telemetry_on);
+    print_lane("telemetry off", jobs, &telemetry_off);
+    println!("telemetry collection overhead: {telemetry_overhead_pct:.1}% (budget: 5%)");
     println!("snapshot speedup (throughput sweep): {speedup:.2}x (artifact: {out})");
+    println!("metrics snapshot artifact: {metrics_out}");
 
     if !failures.is_empty() {
         for failure in &failures {

@@ -4,13 +4,17 @@
 //! Usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random]
 //!                    [--sample N] [--backend fresh|snapshot]
 //!                    [--snapshot-budget BYTES] [--shard I/N] [--state FILE]
+//!                    [--events-jsonl FILE]
 //!        table1_bugs merge STATE.json STATE.json [...]
 //!
 //! `--shard I/N` runs only shard I of N (round-robin over fault points);
 //! `--state FILE` checkpoints the campaign state there after every batch
 //! and resumes from it when the file exists. A complete shard set is
 //! recombined with the `merge` subcommand, whose output is identical to
-//! the unsharded hunt's.
+//! the unsharded hunt's. `--events-jsonl FILE` streams every campaign
+//! event to FILE as one JSON line each, flushed per event — point
+//! `campaign_status` at the files of concurrent shards for a merged live
+//! view of the hunt.
 
 use std::process::exit;
 
@@ -21,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: table1_bugs [--jobs N] [--strategy exhaustive|guided|adaptive|random] \
          [--sample N] [--backend fresh|snapshot] [--snapshot-budget BYTES] \
-         [--shard I/N] [--state FILE]\n\
+         [--shard I/N] [--state FILE] [--events-jsonl FILE]\n\
          \x20      table1_bugs merge STATE.json STATE.json [...]"
     );
     exit(2);
@@ -108,6 +112,9 @@ fn main() {
             }
             "--shard" => options.shard = parse_or_usage(args.next()),
             "--state" => options.state = Some(args.next().unwrap_or_else(|| usage()).into()),
+            "--events-jsonl" => {
+                options.events_jsonl = Some(args.next().unwrap_or_else(|| usage()).into())
+            }
             _ => usage(),
         }
     }

@@ -11,8 +11,8 @@ use std::path::PathBuf;
 
 use lfi_campaign::{
     Campaign, CampaignReport, CampaignState, CoverageAdaptive, ExecBackend, Exhaustive, FaultSpace,
-    InjectionGuided, OutcomeKind, RandomSample, ShardMergeError, ShardOutcome, ShardSpec,
-    StandardExecutor, Strategy, DEFAULT_SNAPSHOT_BUDGET,
+    InjectionGuided, JsonlSink, OutcomeKind, RandomSample, ShardMergeError, ShardOutcome,
+    ShardSpec, StandardExecutor, Strategy, DEFAULT_SNAPSHOT_BUDGET,
 };
 use lfi_targets::{standard_controller, KNOWN_BUGS};
 
@@ -63,6 +63,10 @@ pub struct HuntOptions {
     /// Checkpoint path: the campaign state is persisted here after every
     /// batch and resumed from here when the file already exists.
     pub state: Option<PathBuf>,
+    /// Stream every campaign event to this file as line-delimited JSON
+    /// (one [`lfi_campaign::CampaignEvent`] per line, flushed per event)
+    /// for live out-of-process consumers such as `campaign_status`.
+    pub events_jsonl: Option<PathBuf>,
 }
 
 impl Default for HuntOptions {
@@ -75,6 +79,7 @@ impl Default for HuntOptions {
             snapshot_budget: DEFAULT_SNAPSHOT_BUDGET,
             shard: ShardSpec::FULL,
             state: None,
+            events_jsonl: None,
         }
     }
 }
@@ -137,6 +142,10 @@ pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
     // Only the four hunted targets are loaded; httpd-lite stays cold.
     let executor = StandardExecutor::new(&HUNT_TARGETS);
     let space = table1_fault_space(&executor, options.seed);
+    let events = options.events_jsonl.as_ref().map(|path| {
+        JsonlSink::create(path)
+            .unwrap_or_else(|err| panic!("create event stream {}: {err}", path.display()))
+    });
     let mut builder = Campaign::builder(space, &executor)
         .boxed_strategy(hunt_strategy(options))
         .jobs(options.jobs)
@@ -147,7 +156,13 @@ pub fn table1_campaign(options: &HuntOptions) -> Table1Campaign {
     if let Some(path) = &options.state {
         builder = builder.checkpoint(path);
     }
+    if let Some(sink) = &events {
+        builder = builder.events(sink);
+    }
     let outcome = builder.build().run_to_completion();
+    if let Some(err) = events.as_ref().and_then(JsonlSink::take_error) {
+        eprintln!("warning: event stream truncated: {err}");
+    }
     Table1Campaign {
         table: match_known_bugs(&outcome.report),
         shard: outcome.shard,

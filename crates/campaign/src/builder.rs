@@ -107,6 +107,16 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Minimum interval between [`CampaignEvent::Heartbeat`](crate::events::
+    /// CampaignEvent::Heartbeat) events while units drain (default:
+    /// [`crate::engine::DEFAULT_HEARTBEAT_INTERVAL`]); `None` disables
+    /// heartbeats entirely. Heartbeats only flow when an event sink is
+    /// registered.
+    pub fn heartbeat(mut self, interval: Option<std::time::Duration>) -> Self {
+        self.config.heartbeat_interval = interval;
+        self
+    }
+
     /// Run only one round-robin slice of the fault space (default:
     /// [`ShardSpec::FULL`], the whole space). Sibling processes run the
     /// other slices of the same `count`; their outcomes merge with
@@ -457,7 +467,10 @@ mod tests {
             count(|e| matches!(e, CampaignEvent::UnitStarted { .. })),
             12
         );
-        assert_eq!(count(|e| matches!(e, CampaignEvent::UnitFinished(_))), 12);
+        assert_eq!(
+            count(|e| matches!(e, CampaignEvent::UnitFinished { .. })),
+            12
+        );
         assert_eq!(
             count(|e| matches!(e, CampaignEvent::CrashFound(_))),
             3,
@@ -468,9 +481,9 @@ mod tests {
             let started = events.iter().position(
                 |e| matches!(e, CampaignEvent::UnitStarted { unit, .. } if *unit == record.unit),
             );
-            let finished = events
-                .iter()
-                .position(|e| matches!(e, CampaignEvent::UnitFinished(r) if r.unit == record.unit));
+            let finished = events.iter().position(
+                |e| matches!(e, CampaignEvent::UnitFinished { record: r, .. } if r.unit == record.unit),
+            );
             assert!(started.unwrap() < finished.unwrap());
         }
     }

@@ -61,11 +61,13 @@
 use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use lfi_core::Scenario;
+use lfi_telemetry::Telemetry;
 
 use crate::builder::CampaignBuilder;
 use crate::events::{CampaignEvent, EventSink};
@@ -300,6 +302,17 @@ pub trait Executor: Sync {
         0
     }
 
+    /// The telemetry registry this executor records into. The engine uses
+    /// the same registry for its own spans (unit execution, triage,
+    /// checkpoint writes), heartbeat metric captures, the final
+    /// [`CampaignReport::metrics`] snapshot, and for draining the
+    /// executor's out-of-band notes into the event stream. The default is
+    /// a disabled (no-op) registry: executors opt in by owning a live
+    /// [`Telemetry`] and returning clones of it here.
+    fn telemetry(&self) -> Telemetry {
+        Telemetry::disabled()
+    }
+
     /// Execute one unit on a fresh VM instance.
     fn execute(&self, unit: &WorkUnit) -> Execution;
 }
@@ -382,7 +395,16 @@ pub struct CampaignConfig {
     /// the backend itself, a pure performance knob outside the plan
     /// identity.
     pub snapshot_budget: u64,
+    /// Minimum interval between [`CampaignEvent::Heartbeat`] events while
+    /// units drain (`None` disables heartbeats). Heartbeats are emitted
+    /// only when an event sink is registered; the first fires once a full
+    /// interval of run time has elapsed.
+    pub heartbeat_interval: Option<Duration>,
 }
+
+/// Default minimum interval between heartbeat events (see
+/// [`CampaignConfig::heartbeat_interval`]).
+pub const DEFAULT_HEARTBEAT_INTERVAL: Duration = Duration::from_millis(500);
 
 impl Default for CampaignConfig {
     fn default() -> Self {
@@ -391,6 +413,7 @@ impl Default for CampaignConfig {
             seed: 7,
             backend: ExecBackend::Fresh,
             snapshot_budget: DEFAULT_SNAPSHOT_BUDGET,
+            heartbeat_interval: Some(DEFAULT_HEARTBEAT_INTERVAL),
         }
     }
 }
@@ -398,7 +421,12 @@ impl Default for CampaignConfig {
 /// Persist a campaign checkpoint with write-then-rename, so an
 /// interruption mid-write leaves the previous checkpoint intact instead of
 /// a truncated file the next run would refuse to parse.
-fn write_checkpoint(path: &Path, state: &CampaignState, sink: Option<&dyn EventSink>) {
+fn write_checkpoint(
+    path: &Path,
+    state: &CampaignState,
+    sink: Option<&dyn EventSink>,
+    batch_duration: Duration,
+) {
     // Append (never substitute) the marker: `state.0` and `state.1` in one
     // directory must not share a temp file, and a checkpoint path that
     // itself ends in `.tmp` must still get a distinct temp sibling.
@@ -412,6 +440,86 @@ fn write_checkpoint(path: &Path, state: &CampaignState, sink: Option<&dyn EventS
         sink.event(&CampaignEvent::CheckpointWritten {
             path: path.to_path_buf(),
             completed: state.records().len(),
+            batch_duration_micros: batch_duration.as_micros() as u64,
+        });
+    }
+}
+
+/// Shared per-run progress state: the drain workers update it, throttle
+/// heartbeat emission through it, and republish executor notes from it.
+struct RunProgress {
+    telemetry: Telemetry,
+    unit_execute_micros: lfi_telemetry::Histogram,
+    units_executed: lfi_telemetry::Counter,
+    shard: ShardSpec,
+    run_start: Instant,
+    heartbeat_interval: Option<Duration>,
+    /// Run time (micros since `run_start`) of the last emitted heartbeat.
+    last_heartbeat_micros: AtomicU64,
+    /// Units executed this session so far.
+    executed: AtomicUsize,
+    /// Units planned this session so far (grows batch by batch).
+    planned: AtomicUsize,
+}
+
+impl RunProgress {
+    fn new(telemetry: Telemetry, shard: ShardSpec, heartbeat_interval: Option<Duration>) -> Self {
+        RunProgress {
+            unit_execute_micros: telemetry.histogram("unit_execute_micros"),
+            units_executed: telemetry.counter("units_executed"),
+            telemetry,
+            shard,
+            run_start: Instant::now(),
+            heartbeat_interval,
+            last_heartbeat_micros: AtomicU64::new(0),
+            executed: AtomicUsize::new(0),
+            planned: AtomicUsize::new(0),
+        }
+    }
+
+    /// Republish any notes the executor queued since the last drain as
+    /// [`CampaignEvent::Note`]s.
+    fn publish_notes(&self, sink: &dyn EventSink) {
+        for note in self.telemetry.take_notes() {
+            sink.event(&CampaignEvent::Note {
+                source: note.source,
+                message: note.message,
+            });
+        }
+    }
+
+    /// Emit a heartbeat if a full interval has elapsed since the last one.
+    /// Workers race on the claim; the compare-exchange lets exactly one
+    /// win per interval.
+    fn maybe_heartbeat(&self, sink: &dyn EventSink) {
+        let Some(interval) = self.heartbeat_interval else {
+            return;
+        };
+        let elapsed = self.run_start.elapsed().as_micros() as u64;
+        let last = self.last_heartbeat_micros.load(Ordering::Relaxed);
+        if elapsed.saturating_sub(last) < interval.as_micros() as u64 {
+            return;
+        }
+        if self
+            .last_heartbeat_micros
+            .compare_exchange(last, elapsed, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let units_done = self.executed.load(Ordering::Relaxed);
+        // units/sec scaled by 1000 (the wire format is integer-only):
+        // done / (elapsed/1e6) * 1000 = done * 1e9 / elapsed_micros.
+        let milli_units_per_sec = (units_done as u64)
+            .saturating_mul(1_000_000_000)
+            .checked_div(elapsed)
+            .unwrap_or(0);
+        sink.event(&CampaignEvent::Heartbeat {
+            shard: self.shard,
+            units_done,
+            units_planned: self.planned.load(Ordering::Relaxed),
+            milli_units_per_sec,
+            metrics: self.telemetry.snapshot(),
         });
     }
 }
@@ -649,12 +757,14 @@ impl<'a> Campaign<'a> {
     /// completed records, ordered by unit id. Spawns `min(jobs, pending)`
     /// threads — zero when there is nothing to run. Workers stream
     /// `UnitStarted` / `UnitFinished` / first-seen `CrashFound` events into
-    /// `sink` as they go.
+    /// `sink` as they go, plus throttled `Heartbeat`s and any `Note`s the
+    /// executor queued while running a unit.
     fn drain(
         &self,
         pending: &[&WorkUnit],
         sink: Option<&dyn EventSink>,
         seen_signatures: &Mutex<BTreeSet<CrashSignature>>,
+        progress: &RunProgress,
     ) -> (Vec<RunRecord>, usize) {
         if pending.is_empty() {
             return (Vec::new(), 0);
@@ -677,7 +787,12 @@ impl<'a> Campaign<'a> {
                             offset: unit.point.offset,
                         });
                     }
+                    let started = Instant::now();
                     let execution = self.run_unit(unit);
+                    let duration_micros = started.elapsed().as_micros() as u64;
+                    progress.unit_execute_micros.record(duration_micros);
+                    progress.units_executed.inc();
+                    progress.executed.fetch_add(1, Ordering::Relaxed);
                     let record = RunRecord {
                         unit: unit.id,
                         target: unit.point.target.clone(),
@@ -691,7 +806,10 @@ impl<'a> Campaign<'a> {
                         virtual_time: execution.virtual_time,
                     };
                     if let Some(sink) = sink {
-                        sink.event(&CampaignEvent::UnitFinished(record.clone()));
+                        sink.event(&CampaignEvent::UnitFinished {
+                            record: record.clone(),
+                            duration_micros,
+                        });
                         // Announce each distinct signature once per run,
                         // right after the unit that first exhibited it.
                         // The seen-set lock is released before the sink is
@@ -705,6 +823,8 @@ impl<'a> Campaign<'a> {
                                 sink.event(&CampaignEvent::CrashFound(signature));
                             }
                         }
+                        progress.publish_notes(sink);
+                        progress.maybe_heartbeat(sink);
                     }
                     results.lock().unwrap().push(record);
                 });
@@ -765,8 +885,14 @@ impl<'a> Campaign<'a> {
             history.observe(record.clone());
         }
 
+        let telemetry = self.executor.telemetry();
+        let triage_micros = telemetry.histogram("triage_micros");
+        let checkpoint_write_micros = telemetry.histogram("checkpoint_write_micros");
+        let progress = RunProgress::new(telemetry.clone(), shard, self.config.heartbeat_interval);
+
         let mut executed_now = 0usize;
         let mut peak_workers = 0usize;
+        let mut batch_started = Instant::now();
         loop {
             let proposed = strategy.next_batch(&self.space, &history);
             // Each point runs at most once per campaign: drop repeats
@@ -783,6 +909,7 @@ impl<'a> Campaign<'a> {
             }
             let units = self.units_for(&batch);
             history.begin_batch(&batch, units.len());
+            progress.planned.fetch_add(units.len(), Ordering::Relaxed);
             let pending: Vec<&WorkUnit> = units.iter().filter(|u| !state.completed(u.id)).collect();
             if let Some(sink) = sink {
                 sink.event(&CampaignEvent::BatchPlanned {
@@ -792,7 +919,7 @@ impl<'a> Campaign<'a> {
                     pending: pending.len(),
                 });
             }
-            let (fresh, workers) = self.drain(&pending, sink, &seen_signatures);
+            let (fresh, workers) = self.drain(&pending, sink, &seen_signatures, &progress);
             peak_workers = peak_workers.max(workers);
             let batch_executed = fresh.len();
             executed_now += batch_executed;
@@ -804,7 +931,10 @@ impl<'a> Campaign<'a> {
             // batch has nothing new, and rewriting the file would briefly
             // unseal an already-complete checkpoint on disk.
             if let Some(path) = checkpoint.filter(|_| batch_executed > 0) {
-                write_checkpoint(path, state, sink);
+                let span = checkpoint_write_micros.start();
+                write_checkpoint(path, state, sink, batch_started.elapsed());
+                span.finish();
+                batch_started = Instant::now();
             }
         }
 
@@ -813,9 +943,14 @@ impl<'a> Campaign<'a> {
         // interrupted one, and persist the sealed form.
         state.mark_complete();
         if let Some(path) = checkpoint {
-            write_checkpoint(path, state, sink);
+            let span = checkpoint_write_micros.start();
+            write_checkpoint(path, state, sink, batch_started.elapsed());
+            span.finish();
         }
 
+        let triage_span = triage_micros.start();
+        let final_triage = triage(state.records());
+        triage_span.finish();
         let report = CampaignReport {
             strategy: strategy.name().to_string(),
             space_size: self.space.len(),
@@ -824,10 +959,14 @@ impl<'a> Campaign<'a> {
             batches: history.batches(),
             peak_workers,
             executed_now,
-            triage: triage(state.records()),
+            triage: final_triage,
             records: state.records().to_vec(),
+            metrics: telemetry.enabled().then(|| telemetry.snapshot()),
         };
         if let Some(sink) = sink {
+            // Flush any notes queued after the last unit finished, then
+            // close the stream.
+            progress.publish_notes(sink);
             sink.event(&CampaignEvent::ShardFinished {
                 shard,
                 executed: executed_now,

@@ -43,7 +43,9 @@
 //!   triage-identical to the unsharded run;
 //! * [`events`] — typed [`CampaignEvent`]s streamed through an
 //!   [`EventSink`] while the campaign runs, for progress bars, bench
-//!   harnesses, and cross-machine supervisors;
+//!   harnesses, and cross-machine supervisors; every event has a total
+//!   JSON wire format, and [`JsonlSink`] streams it line-by-line to disk
+//!   for out-of-process tails (the `campaign_status` bin);
 //! * [`standard`] — a ready-made [`Executor`] for the stock `*-lite`
 //!   evaluation targets.
 //!
@@ -82,9 +84,9 @@ pub use builder::{CampaignBuilder, CampaignDriver};
 pub use engine::{
     derive_seed, Campaign, CampaignConfig, CrashInfo, ExecBackend, Execution, Executor,
     InjectedSite, OutcomeKind, ParseBackendError, RunRecord, Session, WorkUnit,
-    DEFAULT_SNAPSHOT_BUDGET,
+    DEFAULT_HEARTBEAT_INTERVAL, DEFAULT_SNAPSHOT_BUDGET,
 };
-pub use events::{CampaignEvent, EventLog, EventSink};
+pub use events::{CampaignEvent, EventLog, EventSink, JsonlSink};
 pub use history::CampaignHistory;
 pub use shard::{ShardMergeError, ShardOutcome, ShardSpec, ShardSpecError};
 pub use space::{FaultPoint, FaultSpace};
@@ -98,3 +100,4 @@ pub use triage::{triage, CampaignReport, CrashSignature, SignatureBucket, Triage
 // Re-exported so downstream code can name profile types without an extra
 // dependency edge.
 pub use lfi_profiler::FaultProfile;
+pub use lfi_telemetry::{MetricsSnapshot, Telemetry};

@@ -198,6 +198,7 @@ impl ShardOutcome {
                 executed_now: 0,
                 triage: triage(&records),
                 records,
+                metrics: None,
             },
         })
     }
@@ -354,6 +355,7 @@ mod tests {
                 executed_now: 0,
                 triage: Default::default(),
                 records: Vec::new(),
+                metrics: None,
             },
         };
         assert_eq!(outcome.plan_tag(), "guided@00000000deadbeef");

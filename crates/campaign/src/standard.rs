@@ -33,7 +33,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use lfi_core::{InjectionEngine, InjectionLog, PauseAtCall, TestConfig, TestOutcome, TestReport};
 use lfi_obj::Module;
@@ -42,6 +42,7 @@ use lfi_targets::{
     bft_lite, bind_lite, db_lite, git_lite, httpd_lite, networked_controller, run_bft_cluster,
     standard_controller, BftClusterConfig, BindWorkload, FsSetupWorkload,
 };
+use lfi_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use lfi_vm::{Coverage, Fault, Image, Machine, MachineSnapshot, NetHandle, NoHooks, RunExit};
 
 use crate::engine::{
@@ -310,6 +311,60 @@ enum DeepenGoal<'a> {
     Index(usize),
 }
 
+/// Pre-resolved telemetry handles for the executor's hot paths, so forks
+/// and deepening runs never take the registry's name-lookup mutex.
+struct ExecMetrics {
+    session_prepare_micros: Histogram,
+    tree_fork_micros: Histogram,
+    tree_deepen_micros: Histogram,
+    /// Forks served directly by a resident node at the target depth.
+    tree_fork_hits: Counter,
+    /// Forks that needed a deepening run first (discovery or exact-depth
+    /// materialization).
+    tree_fork_misses: Counter,
+    tree_nodes_materialized: Counter,
+    tree_nodes_evicted: Counter,
+    /// Deepening runs whose freshly materialized node was already resident
+    /// on re-lock — a concurrent worker won the race (see
+    /// [`StandardExecutor::deepen`]).
+    tree_deepen_discarded: Counter,
+    /// High-water mark of resident snapshot bytes across all sessions.
+    snapshot_resident_bytes_hw: Gauge,
+    /// Per-depth fork counters (`tree_fork_depth_<d>`), resolved lazily —
+    /// depths observed depend on the workloads.
+    fork_depths: Mutex<BTreeMap<usize, Counter>>,
+}
+
+impl ExecMetrics {
+    fn resolve(telemetry: &Telemetry) -> ExecMetrics {
+        ExecMetrics {
+            session_prepare_micros: telemetry.histogram("session_prepare_micros"),
+            tree_fork_micros: telemetry.histogram("tree_fork_micros"),
+            tree_deepen_micros: telemetry.histogram("tree_deepen_micros"),
+            tree_fork_hits: telemetry.counter("tree_fork_hits"),
+            tree_fork_misses: telemetry.counter("tree_fork_misses"),
+            tree_nodes_materialized: telemetry.counter("tree_nodes_materialized"),
+            tree_nodes_evicted: telemetry.counter("tree_nodes_evicted"),
+            tree_deepen_discarded: telemetry.counter("tree_deepen_discarded"),
+            snapshot_resident_bytes_hw: telemetry.gauge("snapshot_resident_bytes_hw"),
+            fork_depths: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Count one fork taken from a node at `depth`.
+    fn fork_at_depth(&self, telemetry: &Telemetry, depth: usize) {
+        if !telemetry.enabled() {
+            return;
+        }
+        self.fork_depths
+            .lock()
+            .unwrap()
+            .entry(depth)
+            .or_insert_with(|| telemetry.counter(&format!("tree_fork_depth_{depth}")))
+            .inc();
+    }
+}
+
 /// Executes campaign work units against the stock `*-lite` targets.
 pub struct StandardExecutor {
     targets: BTreeMap<String, Module>,
@@ -338,6 +393,13 @@ pub struct StandardExecutor {
     snapshot_budget: Arc<SnapshotBudget>,
     /// Client requests issued per bft-lite cluster run.
     pub bft_requests: usize,
+    /// Registry campaign telemetry is recorded into. A fresh enabled
+    /// registry by default; install [`Telemetry::disabled`] via
+    /// [`StandardExecutor::set_telemetry`] to reduce instrumentation to a
+    /// few branch checks per fork.
+    telemetry: Telemetry,
+    /// Pre-resolved handles into `telemetry` for the hot paths.
+    metrics: ExecMetrics,
 }
 
 impl Default for StandardExecutor {
@@ -351,6 +413,7 @@ impl StandardExecutor {
     /// targets are compiled and loadable — a hunt over four targets does not
     /// pay for the fifth. Panics on unknown target names.
     pub fn new(targets: &[&str]) -> StandardExecutor {
+        let telemetry = Telemetry::new();
         StandardExecutor {
             targets: targets
                 .iter()
@@ -363,7 +426,18 @@ impl StandardExecutor {
             max_session_depth: usize::MAX,
             snapshot_budget: Arc::new(SnapshotBudget::new(DEFAULT_SNAPSHOT_BUDGET)),
             bft_requests: 4,
+            metrics: ExecMetrics::resolve(&telemetry),
+            telemetry,
         }
+    }
+
+    /// Install the telemetry registry campaign metrics are recorded into.
+    /// Pass [`Telemetry::disabled`] to turn collection off (the
+    /// constructor installs an enabled registry). Call before units
+    /// execute so the whole campaign is accounted in one registry.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.metrics = ExecMetrics::resolve(&telemetry);
+        self.telemetry = telemetry;
     }
 
     /// Override the per-run instruction budget. Applies to fresh runs and
@@ -452,6 +526,7 @@ impl StandardExecutor {
     ///   unit seed, which replays fresh-VM behavior only from an untouched
     ///   stream.
     fn build_session(&self, target: &str, args: &[String]) -> Option<PreparedSession> {
+        let _span = self.metrics.session_prepare_micros.start();
         let image = self.session_image(target);
         let max_instructions = self.max_instructions;
         let prep = if target == "bind-lite" {
@@ -498,6 +573,10 @@ impl StandardExecutor {
         self.snapshot_budget
             .used
             .fetch_add(bytes, Ordering::Relaxed);
+        self.metrics.tree_nodes_materialized.inc();
+        self.metrics
+            .snapshot_resident_bytes_hw
+            .set_max(self.snapshot_budget.used.load(Ordering::Relaxed));
         let root = SnapshotNode {
             depth: 1,
             parent_depth: 1,
@@ -532,12 +611,17 @@ impl StandardExecutor {
     /// ancestor. Either way later units of the same function fork the
     /// resident node directly.
     fn fork_for(&self, prepared: &PreparedSession, function: &str) -> (Machine, u64) {
+        let _span = self.metrics.tree_fork_micros.start();
         let mut tree = prepared.tree.lock().unwrap();
         if self.max_session_depth <= 1 {
+            self.metrics.tree_fork_hits.inc();
+            self.metrics.fork_at_depth(&self.telemetry, 1);
             return fork_node(&mut tree, 0, prepared.max_instructions);
         }
+        let mut deepened = false;
         if tree.depth_of(function).is_none() && !tree.complete && !tree.capped {
-            self.deepen(prepared, &mut tree, DeepenGoal::Function(function));
+            tree = self.deepen(prepared, tree, DeepenGoal::Function(function));
+            deepened = true;
         }
         let target_depth = tree
             .depth_of(function)
@@ -545,9 +629,17 @@ impl StandardExecutor {
             .min(self.max_session_depth);
         let mut index = tree.deepest_at_most(target_depth);
         if tree.nodes[index].depth < target_depth && target_depth <= tree.trace.len() {
-            self.deepen(prepared, &mut tree, DeepenGoal::Index(target_depth));
+            tree = self.deepen(prepared, tree, DeepenGoal::Index(target_depth));
             index = tree.deepest_at_most(target_depth);
+            deepened = true;
         }
+        if deepened {
+            self.metrics.tree_fork_misses.inc();
+        } else {
+            self.metrics.tree_fork_hits.inc();
+        }
+        self.metrics
+            .fork_at_depth(&self.telemetry, tree.nodes[index].depth);
         fork_node(&mut tree, index, prepared.max_instructions)
     }
 
@@ -567,13 +659,30 @@ impl StandardExecutor {
     ///   the tree: nothing beyond the already-certified trace can be
     ///   trusted seed-independently, so deepening stops. Resident nodes,
     ///   all certified earlier, stay valid.
-    fn deepen(&self, prepared: &PreparedSession, tree: &mut SnapshotTree, goal: DeepenGoal) {
+    ///
+    /// The tree mutex is **released while the deepening run executes** —
+    /// the run is the expensive part, and concurrent units whose fork
+    /// point is already resident should not serialize behind it. The
+    /// consequence is a benign race: two workers may deepen toward the
+    /// same depth concurrently, and the loser finds the depth already
+    /// resident when it re-locks. Both runs replayed the same certified
+    /// deterministic path, so the resident node is interchangeable with
+    /// the loser's; the duplicate snapshot is dropped, counted as
+    /// `tree_deepen_discarded`, and reported through the telemetry note
+    /// channel rather than discarded silently.
+    fn deepen<'a>(
+        &self,
+        prepared: &'a PreparedSession,
+        mut tree: MutexGuard<'a, SnapshotTree>,
+        goal: DeepenGoal,
+    ) -> MutexGuard<'a, SnapshotTree> {
+        let _span = self.metrics.tree_deepen_micros.start();
         let base_index = match goal {
             DeepenGoal::Function(_) => tree.nodes.len() - 1,
             DeepenGoal::Index(depth) => tree.deepest_at_most(depth),
         };
         let base_depth = tree.nodes[base_index].depth;
-        let (machine, _) = fork_node(tree, base_index, prepared.max_instructions);
+        let (machine, _) = fork_node(&mut tree, base_index, prepared.max_instructions);
         let tracked = self.injectable().iter().cloned();
         let pause = match goal {
             DeepenGoal::Function(function) => PauseAtCall::at_function(tracked, function),
@@ -584,11 +693,15 @@ impl StandardExecutor {
                 PauseAtCall::at_index(tracked, (depth - base_depth + 1) as u64)
             }
         };
+        // The forked machine is self-contained — evictions or extensions
+        // of the tree while the run executes cannot invalidate it.
+        drop(tree);
         let prep = standard_controller().deepen_session(machine, pause, prepared.max_instructions);
         let mut machine = prep.machine;
+        let mut tree = prepared.tree.lock().unwrap();
         if !machine.rng_is_pristine() {
             tree.capped = true;
-            return;
+            return tree;
         }
         match prep.prefix_exit {
             RunExit::Paused => {
@@ -600,21 +713,34 @@ impl StandardExecutor {
                         prep.paused_at.as_ref().expect("paused resume names a call"),
                     ),
                 );
-                let post_coverage = machine.take_coverage();
-                let snapshot = machine.snapshot();
-                let bytes = snapshot.resident_bytes();
-                self.insert_node(
-                    prepared,
-                    tree,
-                    SnapshotNode {
-                        depth,
-                        parent_depth: base_depth,
-                        snapshot,
-                        post_coverage,
-                        bytes,
-                        last_use: tree.ticks,
-                    },
-                );
+                if tree.nodes.iter().any(|node| node.depth == depth) {
+                    self.metrics.tree_deepen_discarded.inc();
+                    self.telemetry.note(
+                        "snapshot-tree",
+                        format!(
+                            "deepening run lost a race to depth {depth}; \
+                             duplicate snapshot discarded"
+                        ),
+                    );
+                } else {
+                    let post_coverage = machine.take_coverage();
+                    let snapshot = machine.snapshot();
+                    let bytes = snapshot.resident_bytes();
+                    let last_use = tree.ticks;
+                    self.insert_node(
+                        prepared,
+                        &mut tree,
+                        SnapshotNode {
+                            depth,
+                            parent_depth: base_depth,
+                            snapshot,
+                            post_coverage,
+                            bytes,
+                            last_use,
+                        },
+                    );
+                    self.metrics.tree_nodes_materialized.inc();
+                }
             }
             RunExit::Exited(_) => {
                 tree.record_calls(base_depth, &prep.forwarded);
@@ -622,6 +748,7 @@ impl StandardExecutor {
             }
             RunExit::Fault(_) | RunExit::Blocked | RunExit::Budget => tree.capped = true,
         }
+        tree
     }
 
     /// Insert a freshly certified node (kept in ascending depth order) and
@@ -633,6 +760,9 @@ impl StandardExecutor {
     fn insert_node(&self, prepared: &PreparedSession, tree: &mut SnapshotTree, node: SnapshotNode) {
         let budget = &prepared.budget;
         budget.used.fetch_add(node.bytes, Ordering::Relaxed);
+        self.metrics
+            .snapshot_resident_bytes_hw
+            .set_max(budget.used.load(Ordering::Relaxed));
         let pos = tree
             .nodes
             .iter()
@@ -650,6 +780,7 @@ impl StandardExecutor {
                 .expect("non-root nodes exist");
             let evicted = tree.nodes.remove(victim);
             budget.used.fetch_sub(evicted.bytes, Ordering::Relaxed);
+            self.metrics.tree_nodes_evicted.inc();
             // Re-parent the victim's children, folding its coverage
             // increment into theirs so every surviving node's ancestor
             // chain still reconstructs the full prefix coverage.
@@ -922,6 +1053,10 @@ impl Executor for StandardExecutor {
 
     fn set_snapshot_budget(&self, bytes: u64) {
         self.snapshot_budget.cap.store(bytes, Ordering::Relaxed);
+    }
+
+    fn telemetry(&self) -> Telemetry {
+        self.telemetry.clone()
     }
 
     fn snapshot_bytes(&self) -> u64 {

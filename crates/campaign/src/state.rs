@@ -143,14 +143,14 @@ impl CampaignState {
     }
 }
 
-fn invalid(message: impl Into<String>) -> JsonError {
+pub(crate) fn invalid(message: impl Into<String>) -> JsonError {
     JsonError {
         position: 0,
         message: message.into(),
     }
 }
 
-fn str_field(value: &Value, key: &str) -> Result<String, JsonError> {
+pub(crate) fn str_field(value: &Value, key: &str) -> Result<String, JsonError> {
     value
         .get(key)
         .and_then(Value::as_str)
@@ -158,18 +158,18 @@ fn str_field(value: &Value, key: &str) -> Result<String, JsonError> {
         .ok_or_else(|| invalid(format!("missing string field `{key}`")))
 }
 
-fn int_field(value: &Value, key: &str) -> Result<i64, JsonError> {
+pub(crate) fn int_field(value: &Value, key: &str) -> Result<i64, JsonError> {
     value
         .get(key)
         .and_then(Value::as_int)
         .ok_or_else(|| invalid(format!("missing integer field `{key}`")))
 }
 
-fn opt_str_field(value: &Value, key: &str) -> Option<String> {
+pub(crate) fn opt_str_field(value: &Value, key: &str) -> Option<String> {
     value.get(key).and_then(Value::as_str).map(str::to_string)
 }
 
-fn str_list(value: &Value, key: &str) -> Vec<String> {
+pub(crate) fn str_list(value: &Value, key: &str) -> Vec<String> {
     value
         .get(key)
         .and_then(Value::as_arr)
@@ -182,7 +182,7 @@ fn str_list(value: &Value, key: &str) -> Vec<String> {
         .unwrap_or_default()
 }
 
-fn outcome_to_value(outcome: &OutcomeKind) -> Value {
+pub(crate) fn outcome_to_value(outcome: &OutcomeKind) -> Value {
     match outcome {
         OutcomeKind::Passed => Value::Str("passed".into()),
         OutcomeKind::CleanFailure(code) => Value::Obj(vec![
@@ -194,7 +194,7 @@ fn outcome_to_value(outcome: &OutcomeKind) -> Value {
     }
 }
 
-fn outcome_from_value(value: &Value) -> Result<OutcomeKind, JsonError> {
+pub(crate) fn outcome_from_value(value: &Value) -> Result<OutcomeKind, JsonError> {
     match value {
         Value::Str(s) => match s.as_str() {
             "passed" => Ok(OutcomeKind::Passed),
@@ -207,7 +207,7 @@ fn outcome_from_value(value: &Value) -> Result<OutcomeKind, JsonError> {
     }
 }
 
-fn record_to_value(record: &RunRecord) -> Value {
+pub(crate) fn record_to_value(record: &RunRecord) -> Value {
     Value::Obj(vec![
         ("unit".to_string(), Value::Int(record.unit as i64)),
         ("target".to_string(), Value::Str(record.target.clone())),
@@ -277,7 +277,7 @@ fn record_to_value(record: &RunRecord) -> Value {
     ])
 }
 
-fn record_from_value(value: &Value) -> Result<RunRecord, JsonError> {
+pub(crate) fn record_from_value(value: &Value) -> Result<RunRecord, JsonError> {
     let injected_sites = value
         .get("injected_sites")
         .and_then(Value::as_arr)

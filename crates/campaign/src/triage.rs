@@ -8,6 +8,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use lfi_telemetry::MetricsSnapshot;
+
 use crate::engine::{CrashInfo, OutcomeKind, RunRecord};
 use crate::shard::{ShardMergeError, ShardOutcome};
 
@@ -144,6 +146,11 @@ pub struct CampaignReport {
     pub records: Vec<RunRecord>,
     /// Deduplicated failure triage over all records.
     pub triage: Triage,
+    /// Final capture of the run's telemetry registry (`None` when the
+    /// executor ran with collection disabled, and for outcomes
+    /// reconstructed from persisted state, which does not checkpoint
+    /// metrics). Merged reports fold shard snapshots together.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl CampaignReport {
@@ -214,6 +221,7 @@ impl CampaignReport {
             executed_now: 0,
             triage: Triage::default(),
             records: Vec::new(),
+            metrics: None,
         };
         for outcome in outcomes {
             report.space_size = report.space_size.max(outcome.report.space_size);
@@ -222,6 +230,12 @@ impl CampaignReport {
             report.batches += outcome.report.batches;
             report.peak_workers = report.peak_workers.max(outcome.report.peak_workers);
             report.executed_now += outcome.report.executed_now;
+            if let Some(shard_metrics) = &outcome.report.metrics {
+                report
+                    .metrics
+                    .get_or_insert_with(MetricsSnapshot::default)
+                    .merge(shard_metrics);
+            }
             for record in outcome.report.records {
                 let unit = record.unit;
                 if merged.insert(unit, record).is_some() {
@@ -337,6 +351,7 @@ mod tests {
                 executed_now: records.len(),
                 triage: triage(&records),
                 records,
+                metrics: None,
             },
         }
     }

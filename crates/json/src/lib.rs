@@ -84,6 +84,47 @@ impl Value {
         out
     }
 
+    /// Render on a single line with no insignificant whitespace
+    /// (`{"key":value}` / `[1,2]`) — the framing line-delimited streams
+    /// (JSONL) require, where a pretty-printed value would split one
+    /// document across many lines.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -418,6 +459,27 @@ mod tests {
         ]);
         let text = doc.to_pretty();
         assert!(text.contains("\"errno\": 9"));
+        assert_eq!(parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_reparses() {
+        let doc = Value::Obj(vec![
+            ("type".into(), Value::Str("unit_finished".into())),
+            (
+                "values".into(),
+                Value::Arr(vec![Value::Int(1), Value::Null, Value::Bool(false)]),
+            ),
+            ("empty_obj".into(), Value::Obj(vec![])),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            ("note".into(), Value::Str("line\nbreak".into())),
+        ]);
+        let text = doc.to_compact();
+        assert!(!text.contains('\n'), "one document, one line: {text}");
+        assert_eq!(
+            text,
+            r#"{"type":"unit_finished","values":[1,null,false],"empty_obj":{},"empty_arr":[],"note":"line\nbreak"}"#
+        );
         assert_eq!(parse(&text).unwrap(), doc);
     }
 

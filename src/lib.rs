@@ -22,7 +22,10 @@
 //! * the substrate: [`arch`](lfi_arch), [`obj`](lfi_obj), [`asm`](lfi_asm),
 //!   [`cc`](lfi_cc), [`vm`](lfi_vm), [`libc`](lfi_libc);
 //! * [`targets`](lfi_targets) — the BIND/MySQL/Git/PBFT/Apache analogues with
-//!   the paper's seeded bugs and workloads.
+//!   the paper's seeded bugs and workloads;
+//! * [`telemetry`](lfi_telemetry) — the lock-light metrics registry, span
+//!   timing, and serializable [`MetricsSnapshot`](lfi_telemetry::MetricsSnapshot)s
+//!   behind campaign observability.
 //!
 //! ## Quick start
 //!
@@ -66,6 +69,7 @@ pub use lfi_libc as libc;
 pub use lfi_obj as obj;
 pub use lfi_profiler as profiler;
 pub use lfi_targets as targets;
+pub use lfi_telemetry as telemetry;
 pub use lfi_vm as vm;
 
 /// The most commonly used items, for `use lfi::prelude::*`.
