@@ -7,20 +7,27 @@ use lfi_obj::Module;
 use lfi_profiler::FaultProfile;
 use serde::{Deserialize, Serialize};
 
-use crate::cfg::{build_partial_cfg, DEFAULT_WINDOW};
+use crate::cfg::{build_function_cfg, build_partial_cfg};
 use crate::dataflow::{analyze_checks, CheckSummary};
 
 /// Analyzer configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct AnalysisConfig {
-    /// Number of post-call instructions included in the partial CFG.
-    pub window: usize,
+    /// Number of post-call instructions included in the partial CFG, or
+    /// `None` to walk the full function (the default). The paper's windowed
+    /// mode (`Some(100)`) is kept for fidelity experiments; a windowed walk
+    /// that actually hits its budget marks its findings low-confidence.
+    pub window: Option<usize>,
+    /// Maximum caller-chain depth followed by the interprocedural
+    /// propagation pass (see [`crate::propagation`]).
+    pub max_depth: usize,
 }
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
         AnalysisConfig {
-            window: DEFAULT_WINDOW,
+            window: None,
+            max_depth: 4,
         }
     }
 }
@@ -51,6 +58,16 @@ pub struct SiteFinding {
     pub checked_eq: Vec<Word>,
     /// Literals found checked by inequality.
     pub checked_ineq: Vec<Word>,
+    /// Instructions in the CFG the classification was computed over.
+    pub cfg_insns: usize,
+    /// The CFG walk was cut short by its instruction budget: the class is a
+    /// verdict about a *prefix* of the post-call code and must not be treated
+    /// as definitive (a check may sit just past the truncation point).
+    pub low_confidence: bool,
+    /// The call's return value can reach a `ret` of the containing function
+    /// untouched — the containing function may hand it to its own callers
+    /// (the wrapper shape the propagation pass resolves).
+    pub escapes_to_caller: bool,
 }
 
 /// The analysis result for one (program, library function) pair.
@@ -116,7 +133,7 @@ pub fn unchecked_sites(
 }
 
 /// Classify a check summary against the error-code set `E`, per Algorithm 1.
-fn classify(summary: &CheckSummary, error_codes: &[Word]) -> CallSiteClass {
+pub fn classify(summary: &CheckSummary, error_codes: &[Word]) -> CallSiteClass {
     let eq_in_e: BTreeSet<Word> = summary
         .chk_eq
         .iter()
@@ -144,7 +161,11 @@ pub fn analyze_call_sites(
 ) -> CallSiteReport {
     let mut sites = Vec::new();
     for offset in program.call_sites_of(function) {
-        let cfg = build_partial_cfg(program, offset + INSN_SIZE, config.window);
+        let entry = offset + INSN_SIZE;
+        let cfg = match config.window {
+            Some(window) => build_partial_cfg(program, entry, window),
+            None => build_function_cfg(program, entry),
+        };
         let summary = analyze_checks(&cfg);
         let class = classify(&summary, error_codes);
         sites.push(SiteFinding {
@@ -156,6 +177,9 @@ pub fn analyze_call_sites(
             class,
             checked_eq: summary.chk_eq.iter().copied().collect(),
             checked_ineq: summary.chk_ineq.iter().copied().collect(),
+            cfg_insns: cfg.insn_count(),
+            low_confidence: cfg.truncated,
+            escapes_to_caller: summary.returns_tracked,
         });
     }
     CallSiteReport {
@@ -190,6 +214,45 @@ pub fn analyze_program(
     reports
 }
 
+/// Precision / recall / F1 of one class of a binary classification.
+///
+/// The empty-denominator convention matches [`ConfusionMatrix::accuracy`]: a
+/// metric whose denominator is zero (no predictions, or no actual members of
+/// the class) is reported as a vacuous `1.0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// Of the sites assigned to this class, the fraction that belong to it.
+    pub precision: f64,
+    /// Of the sites belonging to this class, the fraction assigned to it.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl ClassMetrics {
+    fn from_counts(tp: usize, fp: usize, fn_: usize) -> ClassMetrics {
+        let ratio = |num: usize, den: usize| {
+            if den == 0 {
+                1.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let precision = ratio(tp, tp + fp);
+        let recall = ratio(tp, tp + fn_);
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        ClassMetrics {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
 /// Confusion matrix for injection-target identification, with the paper's
 /// orientation: a *positive* is "the analyzer says the error return is not
 /// checked".
@@ -214,6 +277,33 @@ impl ConfusionMatrix {
             return 1.0;
         }
         (self.true_positives + self.true_negatives) as f64 / total as f64
+    }
+
+    /// Metrics of the positive ("unchecked") class.
+    pub fn unchecked_metrics(&self) -> ClassMetrics {
+        ClassMetrics::from_counts(
+            self.true_positives,
+            self.false_positives,
+            self.false_negatives,
+        )
+    }
+
+    /// Metrics of the negative ("checked") class.
+    pub fn checked_metrics(&self) -> ClassMetrics {
+        ClassMetrics::from_counts(
+            self.true_negatives,
+            self.false_negatives,
+            self.false_positives,
+        )
+    }
+
+    /// Merge another matrix's counts into this one (for program-level and
+    /// overall Table 4 rollups).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.true_positives += other.true_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
     }
 }
 
@@ -281,6 +371,35 @@ mod tests {
             Some("fully_checked"),
             "caller attribution"
         );
+        for site in &report.sites {
+            assert!(!site.low_confidence, "full-function walks are definitive");
+            assert!(site.cfg_insns > 0);
+        }
+    }
+
+    #[test]
+    fn truncated_walks_are_flagged_low_confidence() {
+        // A two-instruction window cannot reach the check, so the site is
+        // (wrongly) classified unchecked — but the finding says so itself.
+        let module = compile(
+            r#"
+            int f() {
+                int fd = open("/a", O_RDONLY, 0);
+                if (fd == -1) { return -1; }
+                return fd;
+            }
+            "#,
+        );
+        let windowed = AnalysisConfig {
+            window: Some(2),
+            ..AnalysisConfig::default()
+        };
+        let report = analyze_call_sites(&module, "open", &[-1], windowed);
+        assert!(report.sites[0].low_confidence);
+        assert_eq!(report.sites[0].cfg_insns, 2);
+        let full = analyze_call_sites(&module, "open", &[-1], AnalysisConfig::default());
+        assert!(!full.sites[0].low_confidence);
+        assert_eq!(full.sites[0].class, CallSiteClass::Checked);
     }
 
     #[test]
@@ -339,6 +458,35 @@ mod tests {
         );
         let report = analyze_call_sites(&module, "read", &[-1], AnalysisConfig::default());
         assert_eq!(report.sites[0].class, CallSiteClass::Unchecked);
+    }
+
+    #[test]
+    fn wrapper_return_sites_are_marked_escaping() {
+        let module = compile(
+            r#"
+            int xmalloc(int n) {
+                return malloc(n);
+            }
+            int local_user() {
+                int p = malloc(8);
+                *p = 1;
+                return 0;
+            }
+            "#,
+        );
+        let report = analyze_call_sites(&module, "malloc", &[0], AnalysisConfig::default());
+        let by_caller = |name: &str| {
+            report
+                .sites
+                .iter()
+                .find(|s| s.caller.as_deref() == Some(name))
+                .unwrap()
+        };
+        let wrapper = by_caller("xmalloc");
+        assert_eq!(wrapper.class, CallSiteClass::Unchecked);
+        assert!(wrapper.escapes_to_caller, "return malloc(n) escapes");
+        let user = by_caller("local_user");
+        assert!(!user.escapes_to_caller, "value consumed locally");
     }
 
     #[test]
@@ -411,5 +559,36 @@ mod tests {
         assert_eq!(m.false_positives, 0);
         assert_eq!(m.false_negatives, 0);
         assert!((m.accuracy() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn per_class_precision_recall_f1() {
+        let m = ConfusionMatrix {
+            true_positives: 3,
+            true_negatives: 4,
+            false_positives: 1,
+            false_negatives: 2,
+        };
+        let unchecked = m.unchecked_metrics();
+        assert!((unchecked.precision - 0.75).abs() < 1e-9);
+        assert!((unchecked.recall - 0.6).abs() < 1e-9);
+        assert!((unchecked.f1 - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-9);
+        let checked = m.checked_metrics();
+        assert!((checked.precision - 4.0 / 6.0).abs() < 1e-9);
+        assert!((checked.recall - 0.8).abs() < 1e-9);
+        // A perfect matrix reports vacuous 1.0 everywhere.
+        let perfect = ConfusionMatrix {
+            true_positives: 2,
+            true_negatives: 2,
+            ..ConfusionMatrix::default()
+        };
+        assert_eq!(perfect.unchecked_metrics().f1, 1.0);
+        assert_eq!(perfect.checked_metrics().f1, 1.0);
+        // Merging accumulates counts.
+        let mut acc = ConfusionMatrix::default();
+        acc.merge(&m);
+        acc.merge(&perfect);
+        assert_eq!(acc.true_positives, 5);
+        assert_eq!(acc.true_negatives, 6);
     }
 }

@@ -1,17 +1,27 @@
-//! Partial control-flow graph construction.
+//! Control-flow graph construction.
 //!
 //! The paper builds a partial CFG of (empirically) 100 instructions following
-//! each call site; indirect branches are ignored (§5). We do the same.
+//! each call site; indirect branches are ignored (§5). We support that
+//! windowed mode for fidelity experiments, but the default analysis builds
+//! the **full-function** CFG: the walk simply runs until every path reaches a
+//! `ret` (or the defensive [`FUNCTION_CAP`]), so a check sitting past an
+//! arbitrary instruction window is never silently missed. Either way a walk
+//! that stops early records the fact in [`PartialCfg::truncated`] instead of
+//! returning a graph indistinguishable from a complete one.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use lfi_arch::{Insn, INSN_SIZE};
 use lfi_obj::Module;
 
-/// Default number of post-call instructions explored, as in the paper.
+/// Post-call instruction window used by the paper's original analysis.
 pub const DEFAULT_WINDOW: usize = 100;
 
-/// A partial control-flow graph rooted at one code offset.
+/// Defensive ceiling on full-function CFG walks. Real functions terminate at
+/// `ret` long before this; hitting the cap marks the graph truncated.
+pub const FUNCTION_CAP: usize = 65_536;
+
+/// A control-flow graph rooted at one code offset.
 #[derive(Debug, Clone, Default)]
 pub struct PartialCfg {
     /// Instructions included in the graph, keyed by code offset.
@@ -21,9 +31,19 @@ pub struct PartialCfg {
     pub succs: HashMap<u64, Vec<u64>>,
     /// The root offset (the instruction after the call).
     pub entry: u64,
+    /// The walk hit its instruction budget while decodable, not-yet-visited
+    /// offsets remained: the graph is a prefix of the real one, and any
+    /// conclusion drawn from it is low-confidence. A complete walk (every
+    /// path ended at `ret`/`halt` or ran off the module) leaves this false.
+    pub truncated: bool,
 }
 
 impl PartialCfg {
+    /// Number of instructions included in the graph.
+    pub fn insn_count(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Successor offsets of a node.
     pub fn successors(&self, offset: u64) -> &[u64] {
         self.succs.get(&offset).map(|v| v.as_slice()).unwrap_or(&[])
@@ -50,8 +70,9 @@ impl PartialCfg {
     }
 }
 
-/// Build the partial CFG of up to `max_insns` instructions starting at
-/// `entry` (normally the instruction right after a call site).
+/// Build the CFG of up to `max_insns` instructions starting at `entry`
+/// (normally the instruction right after a call site). A walk stopped by the
+/// budget sets [`PartialCfg::truncated`].
 pub fn build_partial_cfg(module: &Module, entry: u64, max_insns: usize) -> PartialCfg {
     let mut cfg = PartialCfg {
         entry,
@@ -60,12 +81,18 @@ pub fn build_partial_cfg(module: &Module, entry: u64, max_insns: usize) -> Parti
     let mut queue = VecDeque::new();
     queue.push_back(entry);
     while let Some(offset) = queue.pop_front() {
-        if cfg.nodes.len() >= max_insns || cfg.nodes.contains_key(&offset) {
+        if cfg.nodes.contains_key(&offset) {
             continue;
         }
         let Some(insn) = module.insn_at(offset) else {
             continue;
         };
+        if cfg.nodes.len() >= max_insns {
+            // A decodable, unvisited offset remains: the budget cut the
+            // walk short and the graph is a prefix of the real one.
+            cfg.truncated = true;
+            continue;
+        }
         cfg.nodes.insert(offset, insn);
         let mut succs = Vec::new();
         match insn {
@@ -87,6 +114,14 @@ pub fn build_partial_cfg(module: &Module, entry: u64, max_insns: usize) -> Parti
         cfg.succs.insert(offset, succs);
     }
     cfg
+}
+
+/// Build the full-function CFG from `entry`: the walk runs until every path
+/// terminates, bounded only by the defensive [`FUNCTION_CAP`]. This is the
+/// default site CFG — it sees every check between the call and the function's
+/// returns, where the windowed walk could stop one instruction short of one.
+pub fn build_function_cfg(module: &Module, entry: u64) -> PartialCfg {
+    build_partial_cfg(module, entry, FUNCTION_CAP)
 }
 
 #[cfg(test)]
@@ -122,13 +157,24 @@ mod tests {
         assert!(cfg.nodes.contains_key(&60), "taken edge explored");
         assert_eq!(cfg.successors(24), &[36, 60]);
         assert!(cfg.successors(48).is_empty(), "ret terminates a path");
+        assert!(!cfg.truncated, "complete walks are not truncated");
     }
 
     #[test]
-    fn window_limits_the_number_of_nodes() {
+    fn window_limits_the_number_of_nodes_and_flags_truncation() {
         let m = demo_module();
         let cfg = build_partial_cfg(&m, 12, 2);
         assert_eq!(cfg.nodes.len(), 2);
+        assert_eq!(cfg.insn_count(), 2);
+        assert!(cfg.truncated, "budget-stopped walk must say so");
+    }
+
+    #[test]
+    fn full_function_walks_are_complete() {
+        let m = demo_module();
+        let cfg = build_function_cfg(&m, 12);
+        assert_eq!(cfg.insn_count(), 6, "every post-call instruction of f");
+        assert!(!cfg.truncated);
     }
 
     #[test]
@@ -145,5 +191,6 @@ mod tests {
         let m = demo_module();
         let cfg = build_partial_cfg(&m, 10_000, DEFAULT_WINDOW);
         assert!(cfg.nodes.is_empty());
+        assert!(!cfg.truncated, "nothing to walk is not a truncation");
     }
 }

@@ -6,8 +6,15 @@
 //! copy against an integer literal together with the branch condition that
 //! consumes it. Equality-style conditions populate `Chk_eq`, inequality-style
 //! conditions populate `Chk_ineq`, as in Algorithm 1.
+//!
+//! The analysis additionally reports whether a tracked copy can *escape to
+//! the caller*: a `ret` reachable while the return register still holds a
+//! copy means the containing function hands the (possibly unchecked) value to
+//! its own callers — the `xmalloc`-wrapper shape the interprocedural
+//! propagation pass (see [`crate::propagation`]) follows through the call
+//! graph.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use lfi_arch::{Insn, Reg, Word};
 
@@ -29,6 +36,9 @@ pub struct CheckSummary {
     pub chk_eq: BTreeSet<Word>,
     /// Literals the return value was compared against with `<`, `<=`, `>`, `>=`.
     pub chk_ineq: BTreeSet<Word>,
+    /// A `ret` is reachable with a tracked copy in the return register: the
+    /// containing function may return the call's value to its own callers.
+    pub returns_tracked: bool,
 }
 
 impl CheckSummary {
@@ -82,7 +92,10 @@ fn transfer(insn: &Insn, set: &LocSet) -> LocSet {
     out
 }
 
-/// Run the check analysis over a partial CFG.
+/// Run the check analysis over a CFG: a forward may-analysis to a fixpoint
+/// (IN sets grow monotonically under union join, so termination is
+/// structural, not guarded), then one recording pass over the stabilized IN
+/// sets for comparisons and return-escapes.
 pub fn analyze_checks(cfg: &PartialCfg) -> CheckSummary {
     let mut summary = CheckSummary::default();
     if cfg.nodes.is_empty() {
@@ -96,22 +109,34 @@ pub fn analyze_checks(cfg: &PartialCfg) -> CheckSummary {
 
     let mut worklist: VecDeque<u64> = VecDeque::new();
     worklist.push_back(cfg.entry);
-    let mut guard = 0usize;
-    let mut visited_pairs: HashSet<(u64, usize)> = HashSet::new();
-
     while let Some(offset) = worklist.pop_front() {
-        guard += 1;
-        if guard > 20_000 {
-            break; // Defensive bound; partial CFGs are tiny in practice.
-        }
         let Some(insn) = cfg.nodes.get(&offset) else {
             continue;
         };
         let in_set = in_sets.get(&offset).cloned().unwrap_or_default();
-        // Record comparisons of tracked copies against literals, paired with
-        // the conditional branch that consumes the flags (the next node).
-        if let Insn::CmpI { a, imm } = insn {
-            if in_set.contains(&TrackedLoc::Reg(*a)) {
+        let out_set = transfer(insn, &in_set);
+        for &succ in cfg.successors(offset) {
+            if !cfg.nodes.contains_key(&succ) {
+                continue;
+            }
+            let entry = in_sets.entry(succ).or_default();
+            let before = entry.len();
+            entry.extend(out_set.iter().copied());
+            if entry.len() != before {
+                worklist.push_back(succ);
+            }
+        }
+    }
+
+    // Recording pass over the stabilized IN sets.
+    for (&offset, insn) in &cfg.nodes {
+        let Some(in_set) = in_sets.get(&offset) else {
+            continue; // unreachable from the entry
+        };
+        match insn {
+            // A comparison of a tracked copy against a literal, paired with
+            // the conditional branch that consumes the flags (the next node).
+            Insn::CmpI { a, imm } if in_set.contains(&TrackedLoc::Reg(*a)) => {
                 for &succ in cfg.successors(offset) {
                     if let Some(Insn::J { cond, .. }) = cfg.nodes.get(&succ) {
                         if cond.is_equality() {
@@ -122,19 +147,13 @@ pub fn analyze_checks(cfg: &PartialCfg) -> CheckSummary {
                     }
                 }
             }
-        }
-        let out_set = transfer(insn, &in_set);
-        let fingerprint = (offset, out_set.len());
-        for &succ in cfg.successors(offset) {
-            let entry = in_sets.entry(succ).or_default();
-            let before = entry.len();
-            entry.extend(out_set.iter().copied());
-            if entry.len() != before || !visited_pairs.contains(&(succ, entry.len())) {
-                visited_pairs.insert((succ, entry.len()));
-                worklist.push_back(succ);
+            // A return with a tracked copy still in the return register:
+            // the value escapes to the containing function's callers.
+            Insn::Ret if in_set.contains(&TrackedLoc::Reg(Reg::RET)) => {
+                summary.returns_tracked = true;
             }
+            _ => {}
         }
-        visited_pairs.insert(fingerprint);
     }
     summary
 }
@@ -144,7 +163,7 @@ mod tests {
     use lfi_asm::assemble_text;
     use lfi_obj::Module;
 
-    use crate::cfg::{build_partial_cfg, DEFAULT_WINDOW};
+    use crate::cfg::{build_function_cfg, build_partial_cfg, DEFAULT_WINDOW};
 
     use super::*;
 
@@ -172,6 +191,10 @@ mod tests {
         let summary = analyze_checks(&cfg_after_first_call(&m, "read"));
         assert!(summary.chk_eq.contains(&-1));
         assert!(summary.chk_ineq.is_empty());
+        assert!(
+            summary.returns_tracked,
+            "the fall-through ret returns r0, still the call's value"
+        );
     }
 
     #[test]
@@ -197,6 +220,10 @@ mod tests {
         .unwrap();
         let summary = analyze_checks(&cfg_after_first_call(&m, "malloc"));
         assert!(summary.chk_eq.contains(&0));
+        assert!(
+            !summary.returns_tracked,
+            "r0 was overwritten before every ret"
+        );
     }
 
     #[test]
@@ -241,6 +268,7 @@ mod tests {
         .unwrap();
         let summary = analyze_checks(&cfg_after_first_call(&m, "read"));
         assert!(summary.is_empty());
+        assert!(!summary.returns_tracked);
     }
 
     #[test]
@@ -294,5 +322,24 @@ mod tests {
             summary.chk_eq.iter().copied().collect::<Vec<_>>(),
             vec![-1, 0]
         );
+    }
+
+    #[test]
+    fn tail_returned_values_escape() {
+        // The wrapper returns the callee's value untouched — the classic
+        // `return malloc(n);` shape the propagation pass depends on.
+        let m = assemble_text(
+            r#"
+            .module demo lib
+            .func xmalloc
+                callsym malloc
+                ret
+            "#,
+        )
+        .unwrap();
+        let site = m.call_sites_of("malloc")[0];
+        let summary = analyze_checks(&build_function_cfg(&m, site + lfi_arch::INSN_SIZE));
+        assert!(summary.is_empty());
+        assert!(summary.returns_tracked);
     }
 }

@@ -1,26 +1,56 @@
-//! Call-site analysis (Algorithm 1 of the paper).
+//! Whole-program static analysis (Algorithm 1 of the paper, and beyond).
 //!
 //! The analyzer combs a target program's binary for call sites of a library
-//! function, builds a partial control-flow graph of the instructions that
-//! follow each call, runs a dataflow analysis that follows copies of the
-//! call's return value, and classifies each site as fully checked, partially
-//! checked, or completely unchecked with respect to the error codes in the
-//! library's fault profile. Unchecked and partially checked sites become
-//! automatically generated injection scenarios (handled in `lfi-core`).
+//! function, builds the **full-function** control-flow graph after each call
+//! (with explicit truncation accounting when a windowed walk is requested),
+//! runs a dataflow analysis that follows copies of the call's return value,
+//! and classifies each site as fully checked, partially checked, or
+//! completely unchecked with respect to the error codes in the library's
+//! fault profile. Unchecked and partially checked sites become automatically
+//! generated injection scenarios (handled in `lfi-core`).
+//!
+//! On top of the per-site pass sit three whole-program analyses:
+//!
+//! - a [call graph](callgraph) over all loaded modules, covering both
+//!   symbolic (`callsym`) and direct local (`call`) edges;
+//! - [interprocedural error propagation](propagation), which resolves the
+//!   wrapper pattern (`xmalloc` et al.) by walking the call graph upward and
+//!   assigns every site a [`PropagationVerdict`];
+//! - a [callee-side path-sensitive fault profile](callee) of library
+//!   modules, cross-checked against the runtime profiler's linear scan —
+//!   disagreements become typed [`ProfileDivergence`] findings.
+//!
+//! The [findings] module serializes everything into the JSON documents the
+//! `lfi_analyze` tool emits and CI diffs against committed baselines.
 //!
 //! The crate also identifies *recovery blocks* — code reachable only through
 //! the error edge of a return-value check — which is what the recovery-code
 //! coverage measurements of Table 3 are computed over.
 
+pub mod callee;
+pub mod callgraph;
 pub mod callsite;
 pub mod cfg;
 pub mod dataflow;
+pub mod findings;
+pub mod propagation;
 pub mod recovery;
 
-pub use callsite::{
-    analyze_call_sites, analyze_program, confusion_matrix, iter_sites, unchecked_sites,
-    AnalysisConfig, CallSiteClass, CallSiteReport, ConfusionMatrix, SiteFinding,
+pub use callee::{
+    cross_check, static_profile_library, ProfileDivergence, StaticFaultProfile,
+    StaticFunctionProfile,
 };
-pub use cfg::{build_partial_cfg, PartialCfg};
+pub use callgraph::{CallGraph, CallSiteRef};
+pub use callsite::{
+    analyze_call_sites, analyze_program, classify, confusion_matrix, iter_sites, unchecked_sites,
+    AnalysisConfig, CallSiteClass, CallSiteReport, ClassMetrics, ConfusionMatrix, SiteFinding,
+};
+pub use cfg::{build_function_cfg, build_partial_cfg, PartialCfg};
 pub use dataflow::{analyze_checks, CheckSummary, TrackedLoc};
+pub use findings::{
+    diff_findings, verdict_str, Regression, RegressionKind, SiteRecord, TargetFindings,
+};
+pub use propagation::{
+    propagation_reports, PropagationFinding, PropagationReport, PropagationVerdict,
+};
 pub use recovery::{recovery_lines, recovery_offsets, RecoveryMap};

@@ -1,0 +1,104 @@
+//! Property test: analysis verdicts are deterministic across module load
+//! order. The call graph and the propagation pass both consume a *set* of
+//! modules; feeding them any permutation of that set must produce identical
+//! edges, identical verdicts, and identical findings documents — otherwise
+//! baselines diffed in CI would flap with link order.
+
+use lfi_analyzer::{
+    analyze_call_sites, propagation_reports, AnalysisConfig, CallGraph, TargetFindings,
+};
+use lfi_cc::Compiler;
+use lfi_obj::{Module, ModuleKind};
+use proptest::prelude::*;
+
+fn compile(name: &str, src: &str) -> Module {
+    Compiler::new(name, ModuleKind::SharedLib)
+        .add_source("t.c", src)
+        .compile()
+        .unwrap()
+}
+
+/// A program whose wrapper is consumed from two other modules, so the call
+/// graph genuinely mixes intra- and cross-module edges.
+fn modules() -> Vec<Module> {
+    vec![
+        compile(
+            "prog",
+            r#"
+            int xmalloc(int n) {
+                return malloc(n);
+            }
+            int local_caller() {
+                int p = xmalloc(8);
+                if (p == 0) { return -1; }
+                return 0;
+            }
+            "#,
+        ),
+        compile(
+            "app",
+            r#"
+            int app_caller() {
+                int p = xmalloc(16);
+                if (p == 0) { return -1; }
+                return 1;
+            }
+            "#,
+        ),
+        compile(
+            "extra",
+            r#"
+            int extra_caller() {
+                int p = xmalloc(24);
+                if (p == 0) { return -2; }
+                return 2;
+            }
+            int unrelated() {
+                int fd = open("/x", O_RDONLY, 0);
+                return fd;
+            }
+            "#,
+        ),
+    ]
+}
+
+/// Deterministic Fisher–Yates driven by a test-supplied seed.
+fn permute<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (seed >> 33) as usize % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn verdicts_are_independent_of_module_order(seed in any::<u64>()) {
+        let owned = modules();
+        let canonical: Vec<&Module> = owned.iter().collect();
+        let mut shuffled = canonical.clone();
+        permute(&mut shuffled, seed);
+
+        let graph_a = CallGraph::build(&canonical);
+        let graph_b = CallGraph::build(&shuffled);
+        prop_assert_eq!(graph_a.callers_of("xmalloc"), graph_b.callers_of("xmalloc"));
+        prop_assert_eq!(graph_a.edge_count(), graph_b.edge_count());
+
+        let config = AnalysisConfig::default();
+        let prog = owned.iter().find(|m| m.name == "prog").unwrap();
+        let report = analyze_call_sites(prog, "malloc", &[0], config);
+
+        let from_canonical =
+            propagation_reports(&canonical, std::slice::from_ref(&report), config);
+        let from_shuffled = propagation_reports(&shuffled, std::slice::from_ref(&report), config);
+        prop_assert_eq!(&from_canonical, &from_shuffled);
+
+        let doc_a = TargetFindings::collect("prog", std::slice::from_ref(&report), &from_canonical);
+        let doc_b = TargetFindings::collect("prog", &[report], &from_shuffled);
+        prop_assert_eq!(doc_a.to_json(), doc_b.to_json());
+    }
+}

@@ -168,6 +168,13 @@ fn cache_hit_rate(metrics: &MetricsSnapshot) -> Option<f64> {
     (total > 0).then(|| hits as f64 * 100.0 / total as f64)
 }
 
+/// Static-prune effectiveness from a merged metrics snapshot: demoted
+/// sites over sites analyzed, if the executor ran the analysis phase.
+fn prune_rate(metrics: &MetricsSnapshot) -> Option<(u64, u64)> {
+    let total = metrics.counter("analysis_sites_total");
+    (total > 0).then(|| (metrics.counter("analysis_sites_pruned"), total))
+}
+
 fn render(streams: &[ShardStream]) {
     let mut merged_signatures: BTreeSet<&String> = BTreeSet::new();
     let mut merged_metrics = MetricsSnapshot::default();
@@ -208,9 +215,12 @@ fn render(streams: &[ShardStream]) {
     let cache = cache_hit_rate(&merged_metrics)
         .map(|rate| format!("{rate:.1}% cache hit rate"))
         .unwrap_or_else(|| "cache hit rate n/a".to_string());
+    let prune = prune_rate(&merged_metrics)
+        .map(|(pruned, total)| format!("{pruned}/{total} sites statically pruned"))
+        .unwrap_or_else(|| "static prune n/a".to_string());
     println!(
         "total {:>2} shards  units {total_done}/{total_planned}  \
-         {:>8.3} units/sec  {} distinct signatures  {cache}  {total_notes} notes",
+         {:>8.3} units/sec  {} distinct signatures  {cache}  {prune}  {total_notes} notes",
         streams.len(),
         total_milli_rate as f64 / 1000.0,
         merged_signatures.len(),

@@ -1,0 +1,281 @@
+//! Whole-program static-analysis lint over the evaluation targets.
+//!
+//! Usage: lfi_analyze [--format text|json] [--out DIR] [--check DIR]
+//!                    [--target NAME ...]
+//!
+//! For every selected target (default: all six — the five `*-lite`
+//! executables plus the libxml-lite shared library) the tool runs the
+//! call-site classifier and the interprocedural error-propagation pass and
+//! collects the per-site verdicts into a [`TargetFindings`] document. It
+//! also runs the callee-side path-sensitive profile of each registered
+//! library module and cross-checks it against the runtime profiler's linear
+//! scan, emitting one `profile-<library>.json` divergence document per
+//! library.
+//!
+//! * `--format json` prints the documents to stdout (text prints a human
+//!   summary instead).
+//! * `--out DIR` writes `<DIR>/<target>.json` and
+//!   `<DIR>/profile-<library>.json` — the files committed under
+//!   `analysis/baselines/`.
+//! * `--check DIR` diffs the current documents against the baselines in
+//!   `DIR` and exits non-zero on any regression: a new unhandled site, a
+//!   site whose verdict worsened from handled to unhandled, or a new
+//!   profile divergence. Improvements (sites disappearing or becoming
+//!   handled, divergences resolved) pass. A missing baseline file is an
+//!   error — add it explicitly so new targets are gated deliberately.
+
+use std::collections::BTreeSet;
+use std::process::exit;
+
+use lfi_analyzer::{
+    cross_check, diff_findings, static_profile_library, verdict_str, ProfileDivergence,
+    TargetFindings,
+};
+use lfi_json::Value;
+use lfi_targets::{all_targets, libxml_lite, standard_controller};
+
+const USAGE: &str = "usage: lfi_analyze [--format text|json] [--out DIR] [--check DIR] \
+                     [--target NAME ...]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    exit(2);
+}
+
+/// A stable one-line rendering of one profile divergence, the unit the
+/// `profile-<library>.json` baselines are diffed by.
+fn divergence_line(divergence: &ProfileDivergence) -> String {
+    let cases = |cases: &[lfi_profiler::ErrorCase]| {
+        cases
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}/{}",
+                    c.retval,
+                    c.errno.map(|e| e.to_string()).unwrap_or_else(|| "-".into())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    match divergence {
+        ProfileDivergence::OnlyInStatic { function } => format!("only-in-static {function}"),
+        ProfileDivergence::OnlyInProfiler { function } => {
+            format!("only-in-profiler {function}")
+        }
+        ProfileDivergence::ErrorCasesDiffer {
+            function,
+            missing_in_profiler,
+            missing_in_static,
+        } => format!(
+            "error-cases-differ {function} missing-in-profiler=[{}] missing-in-static=[{}]",
+            cases(missing_in_profiler),
+            cases(missing_in_static),
+        ),
+        ProfileDivergence::DynamicFlagDiffers {
+            function,
+            static_value,
+            profiler_value,
+        } => format!(
+            "dynamic-flag-differs {function} static={static_value} profiler={profiler_value}"
+        ),
+    }
+}
+
+/// The divergence document of one library module.
+fn divergence_doc(library: &str, lines: &[String]) -> Value {
+    Value::Obj(vec![
+        ("library".into(), Value::Str(library.to_string())),
+        (
+            "divergences".into(),
+            Value::Arr(lines.iter().map(|l| Value::Str(l.clone())).collect()),
+        ),
+    ])
+}
+
+fn divergence_lines_of_doc(doc: &Value) -> Option<Vec<String>> {
+    Some(
+        doc.get("divergences")?
+            .as_arr()?
+            .iter()
+            .filter_map(|v| v.as_str().map(str::to_string))
+            .collect(),
+    )
+}
+
+fn read_baseline(dir: &str, file: &str) -> Value {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+        eprintln!(
+            "lfi_analyze: missing baseline {path}: {err}\n\
+             (new targets must be gated deliberately — generate it with --out)"
+        );
+        exit(1);
+    });
+    lfi_json::parse(&text).unwrap_or_else(|err| {
+        eprintln!("lfi_analyze: malformed baseline {path}: {}", err.message);
+        exit(1);
+    })
+}
+
+fn main() {
+    let mut format = "text".to_string();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => format = args.next().unwrap_or_else(|| usage()),
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
+            "--target" => selected.push(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if format != "text" && format != "json" {
+        usage();
+    }
+    if let Some(dir) = &out {
+        std::fs::create_dir_all(dir).unwrap_or_else(|err| {
+            eprintln!("lfi_analyze: create {dir}: {err}");
+            exit(1);
+        });
+    }
+
+    let controller = standard_controller();
+    let mut regressions = 0usize;
+
+    // Per-target propagation findings — the five executables plus the
+    // libxml-lite shared library, which imports libc itself.
+    let mut analyzed = all_targets();
+    analyzed.push(("libxml-lite", libxml_lite()));
+    for (name, exe) in analyzed {
+        if !selected.is_empty() && !selected.iter().any(|t| t == name) {
+            continue;
+        }
+        let reports = controller.analyze(&exe);
+        let propagation = controller.analyze_propagation(&exe, &reports);
+        let findings = TargetFindings::collect(name, &reports, &propagation);
+        let doc = findings.to_json();
+        match format.as_str() {
+            "json" => println!("{doc}"),
+            _ => {
+                let unhandled: Vec<_> = findings.unhandled().collect();
+                println!(
+                    "{name}: {} sites, {} unhandled",
+                    findings.sites.len(),
+                    unhandled.len()
+                );
+                for site in unhandled {
+                    println!(
+                        "  {}:{} call to {} [{}]{}",
+                        site.caller.as_deref().unwrap_or("?"),
+                        site.ordinal,
+                        site.function,
+                        verdict_str(site.verdict),
+                        if site.low_confidence {
+                            " (low confidence)"
+                        } else {
+                            ""
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(dir) = &out {
+            let path = format!("{dir}/{name}.json");
+            std::fs::write(&path, &doc).unwrap_or_else(|err| {
+                eprintln!("lfi_analyze: write {path}: {err}");
+                exit(1);
+            });
+            eprintln!("wrote {path}");
+        }
+        if let Some(dir) = &check {
+            let path = format!("{dir}/{name}.json");
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+                eprintln!(
+                    "lfi_analyze: missing baseline {path}: {err}\n\
+                     (new targets must be gated deliberately — generate it with --out)"
+                );
+                exit(1);
+            });
+            let baseline = TargetFindings::from_json(&text).unwrap_or_else(|err| {
+                eprintln!("lfi_analyze: malformed baseline {path}: {}", err.message);
+                exit(1);
+            });
+            for regression in diff_findings(&baseline, &findings) {
+                eprintln!("REGRESSION {name}: {regression}");
+                regressions += 1;
+            }
+        }
+    }
+
+    // Library profile cross-checks (always over every registered library —
+    // the divergence set is a property of the libraries, not the targets).
+    if selected.is_empty() {
+        for library in controller.libraries() {
+            let static_profile = static_profile_library(library);
+            // Each library is checked against its own runtime profile —
+            // the merged profile would report every other library's
+            // functions as spurious divergences.
+            let runtime = lfi_profiler::profile_library(library);
+            let lines: Vec<String> = cross_check(&static_profile, &runtime)
+                .iter()
+                .map(divergence_line)
+                .collect();
+            let doc = divergence_doc(&library.name, &lines);
+            match format.as_str() {
+                "json" => println!("{}", doc.to_pretty()),
+                _ => {
+                    println!(
+                        "profile-{}: {} divergences vs runtime profiler",
+                        library.name,
+                        lines.len()
+                    );
+                    for line in &lines {
+                        println!("  {line}");
+                    }
+                }
+            }
+            if let Some(dir) = &out {
+                let path = format!("{dir}/profile-{}.json", library.name);
+                std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|err| {
+                    eprintln!("lfi_analyze: write {path}: {err}");
+                    exit(1);
+                });
+                eprintln!("wrote {path}");
+            }
+            if let Some(dir) = &check {
+                let baseline_doc = read_baseline(dir, &format!("profile-{}.json", library.name));
+                let known: BTreeSet<String> = divergence_lines_of_doc(&baseline_doc)
+                    .unwrap_or_else(|| {
+                        eprintln!(
+                            "lfi_analyze: baseline profile-{}.json has no divergences array",
+                            library.name
+                        );
+                        exit(1);
+                    })
+                    .into_iter()
+                    .collect();
+                for line in &lines {
+                    if !known.contains(line) {
+                        eprintln!(
+                            "REGRESSION profile-{}: new divergence: {line}",
+                            library.name
+                        );
+                        regressions += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!("lfi_analyze: {regressions} regression(s) against baselines");
+        exit(1);
+    }
+    if check.is_some() {
+        println!("lfi_analyze: no regressions against baselines");
+    }
+}

@@ -1,5 +1,38 @@
 //! Regenerate one experiment of the evaluation (see lfi-bench::experiments).
+//!
+//! Usage: table4_accuracy [--out FILE.json]
+//!
+//! `--out` additionally writes the table (rows, per-class
+//! precision/recall/F1, pooled rollup) as a machine-readable JSON document
+//! — the `BENCH_table4.json` artifact CI archives.
+
+use std::process::exit;
 
 fn main() {
-    println!("{}", lfi_bench::table4_accuracy());
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(path) => out = Some(path),
+                None => {
+                    eprintln!("usage: table4_accuracy [--out FILE.json]");
+                    exit(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: table4_accuracy [--out FILE.json]");
+                exit(2);
+            }
+        }
+    }
+    let table = lfi_bench::table4_accuracy();
+    println!("{table}");
+    if let Some(path) = out {
+        if let Err(err) = std::fs::write(&path, table.to_json().to_pretty()) {
+            eprintln!("table4_accuracy: write {path}: {err}");
+            exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
 }

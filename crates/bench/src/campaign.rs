@@ -125,8 +125,9 @@ fn hunt_strategy(options: &HuntOptions) -> Box<dyn Strategy> {
         }),
         HuntStrategy::Guided => Box::new(InjectionGuided),
         // The hunt opts into saturation pruning: once a caller neighborhood
-        // keeps passing, its remaining *checked* call sites are dropped —
-        // 254 units instead of guided's 272, still 11/11 known bugs.
+        // keeps passing, its remaining *checked* call sites are dropped, and
+        // statically demoted points are skipped after a single corroborating
+        // pass — 240 units instead of guided's 272, still 11/11 known bugs.
         // (Pruning decisions read the shard-local history, so a sharded
         // adaptive hunt may cover a slightly different unit set than the
         // unsharded one; the static strategies shard loss-free.)

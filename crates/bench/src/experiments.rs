@@ -4,7 +4,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::time::Instant;
 
-use lfi_analyzer::{analyze_call_sites, recovery_offsets, AnalysisConfig, CallSiteClass};
+use lfi_analyzer::{
+    analyze_call_sites, recovery_offsets, AnalysisConfig, CallSiteClass, ClassMetrics,
+    ConfusionMatrix,
+};
 use lfi_core::{
     DistributedController, DistributedPolicy, FunctionAssoc, Scenario, TestConfig, TestOutcome,
     TriggerDecl, TriggerRegistry,
@@ -384,6 +387,9 @@ pub struct AccuracyRow {
     pub program: String,
     /// Library function analyzed.
     pub function: String,
+    /// Full confusion matrix against ground truth (positive = "unchecked",
+    /// the paper's orientation).
+    pub matrix: ConfusionMatrix,
     /// Correct classifications (TP+TN).
     pub correct: usize,
     /// False negatives.
@@ -402,19 +408,71 @@ pub struct Table4 {
 }
 
 impl Table4 {
+    /// The confusion matrix pooled over all rows.
+    pub fn overall_matrix(&self) -> ConfusionMatrix {
+        let mut pooled = ConfusionMatrix::default();
+        for row in &self.rows {
+            pooled.merge(&row.matrix);
+        }
+        pooled
+    }
+
     /// Overall accuracy across all rows.
     pub fn overall_accuracy(&self) -> f64 {
-        let total: usize = self
+        self.overall_matrix().accuracy()
+    }
+
+    /// Serialize the table — rows, per-class precision/recall/F1, and the
+    /// pooled rollup — as the `BENCH_table4.json` document CI archives.
+    pub fn to_json(&self) -> lfi_json::Value {
+        use lfi_json::Value;
+        // lfi_json carries no float variant; ratios are stored in permille.
+        let metrics_json = |m: &ClassMetrics| {
+            Value::Obj(vec![
+                (
+                    "precision_permille".into(),
+                    Value::Int((m.precision * 1000.0).round() as i64),
+                ),
+                (
+                    "recall_permille".into(),
+                    Value::Int((m.recall * 1000.0).round() as i64),
+                ),
+                (
+                    "f1_permille".into(),
+                    Value::Int((m.f1 * 1000.0).round() as i64),
+                ),
+            ])
+        };
+        let matrix_json = |m: &ConfusionMatrix| {
+            Value::Obj(vec![
+                ("tp".into(), Value::Int(m.true_positives as i64)),
+                ("tn".into(), Value::Int(m.true_negatives as i64)),
+                ("fp".into(), Value::Int(m.false_positives as i64)),
+                ("fn".into(), Value::Int(m.false_negatives as i64)),
+                (
+                    "accuracy_permille".into(),
+                    Value::Int((m.accuracy() * 1000.0).round() as i64),
+                ),
+                ("unchecked".into(), metrics_json(&m.unchecked_metrics())),
+                ("checked".into(), metrics_json(&m.checked_metrics())),
+            ])
+        };
+        let rows = self
             .rows
             .iter()
-            .map(|r| r.correct + r.false_negatives + r.false_positives)
-            .sum();
-        let correct: usize = self.rows.iter().map(|r| r.correct).sum();
-        if total == 0 {
-            1.0
-        } else {
-            correct as f64 / total as f64
-        }
+            .map(|row| {
+                Value::Obj(vec![
+                    ("program".into(), Value::Str(row.program.clone())),
+                    ("function".into(), Value::Str(row.function.clone())),
+                    ("matrix".into(), matrix_json(&row.matrix)),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("table".into(), Value::Str("table4_accuracy".into())),
+            ("rows".into(), Value::Arr(rows)),
+            ("overall".into(), matrix_json(&self.overall_matrix())),
+        ])
     }
 }
 
@@ -426,25 +484,39 @@ impl fmt::Display for Table4 {
         )?;
         writeln!(
             f,
-            "{:<12} {:<10} {:>7} {:>4} {:>4} {:>9}",
-            "system", "function", "TP+TN", "FN", "FP", "accuracy"
+            "{:<12} {:<10} {:>7} {:>4} {:>4} {:>9} {:>7} {:>7} {:>7}",
+            "system", "function", "TP+TN", "FN", "FP", "accuracy", "prec", "recall", "f1"
         )?;
         for row in &self.rows {
+            let unchecked = row.matrix.unchecked_metrics();
             writeln!(
                 f,
-                "{:<12} {:<10} {:>7} {:>4} {:>4} {:>8.0}%",
+                "{:<12} {:<10} {:>7} {:>4} {:>4} {:>8.0}% {:>6.0}% {:>6.0}% {:>6.0}%",
                 row.program,
                 row.function,
                 row.correct,
                 row.false_negatives,
                 row.false_positives,
-                row.accuracy * 100.0
+                row.accuracy * 100.0,
+                unchecked.precision * 100.0,
+                unchecked.recall * 100.0,
+                unchecked.f1 * 100.0,
             )?;
         }
+        let overall = self.overall_matrix();
+        let unchecked = overall.unchecked_metrics();
+        let checked = overall.checked_metrics();
         writeln!(
             f,
-            "overall accuracy: {:.1}%",
-            self.overall_accuracy() * 100.0
+            "overall accuracy: {:.1}%  unchecked P/R/F1: {:.1}%/{:.1}%/{:.1}%  \
+             checked P/R/F1: {:.1}%/{:.1}%/{:.1}%",
+            self.overall_accuracy() * 100.0,
+            unchecked.precision * 100.0,
+            unchecked.recall * 100.0,
+            unchecked.f1 * 100.0,
+            checked.precision * 100.0,
+            checked.recall * 100.0,
+            checked.f1 * 100.0,
         )
     }
 }
@@ -467,32 +539,27 @@ pub fn table4_accuracy() -> Table4 {
             .unwrap_or_else(|| vec![-1]);
         let report =
             analyze_call_sites(&exe, row.function, &error_codes, AnalysisConfig::default());
-        let mut correct = 0;
-        let mut false_negatives = 0;
-        let mut false_positives = 0;
+        let mut matrix = ConfusionMatrix::default();
         for site in &report.sites {
             let caller = site.caller.clone().unwrap_or_default();
             let really_checked = row.checking_callers.contains(&caller.as_str());
             let says_checked = site.class == CallSiteClass::Checked;
+            // Paper orientation: positive = "not checked".
             match (says_checked, really_checked) {
-                (true, true) | (false, false) => correct += 1,
-                // Paper orientation: positive = "not checked".
-                (false, true) => false_positives += 1,
-                (true, false) => false_negatives += 1,
+                (true, true) => matrix.true_negatives += 1,
+                (false, false) => matrix.true_positives += 1,
+                (false, true) => matrix.false_positives += 1,
+                (true, false) => matrix.false_negatives += 1,
             }
         }
-        let total = correct + false_negatives + false_positives;
         result.rows.push(AccuracyRow {
             program: row.program.to_string(),
             function: row.function.to_string(),
-            correct,
-            false_negatives,
-            false_positives,
-            accuracy: if total == 0 {
-                1.0
-            } else {
-                correct as f64 / total as f64
-            },
+            correct: matrix.true_positives + matrix.true_negatives,
+            false_negatives: matrix.false_negatives,
+            false_positives: matrix.false_positives,
+            accuracy: matrix.accuracy(),
+            matrix,
         });
     }
     result

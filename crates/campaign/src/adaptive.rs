@@ -17,7 +17,11 @@
 //! * **prune** — optionally, a deprioritized point whose call site the
 //!   analyzer classified as fully *checked* is dropped outright: the
 //!   surrounding recovery code has demonstrably absorbed injections, so the
-//!   budget is better spent elsewhere.
+//!   budget is better spent elsewhere. Points demoted by the static-prune
+//!   pass ([`FaultSpace::static_prune`]) carry a stronger guarantee — the
+//!   interprocedural analysis proved the error handled — so they are
+//!   dropped as soon as a *single* passing run corroborates the verdict in
+//!   their neighborhood, instead of waiting for the full pass threshold.
 //!
 //! Scheduling is deterministic: scores are pure functions of the completed
 //! record set, and every batch fully drains before the next is requested,
@@ -176,11 +180,21 @@ impl Strategy for CoverageAdaptive {
         let mut scored: Vec<(u8, usize, usize)> = Vec::with_capacity(remaining.len());
         for (pos, &point) in remaining.iter().enumerate() {
             let urgency = self.urgency(space, point, &digest);
-            if self.prune_saturated
-                && urgency == Urgency::Deprioritized
-                && space.points[point].class == Some(CallSiteClass::Checked)
-            {
-                continue;
+            if self.prune_saturated {
+                let p = &space.points[point];
+                if urgency == Urgency::Deprioritized && p.class == Some(CallSiteClass::Checked) {
+                    continue;
+                }
+                // Statically demoted points need only one corroborating
+                // pass in their neighborhood (and no failures) to be
+                // skipped: the propagation proof carries most of the weight.
+                let corroborated = digest
+                    .stats
+                    .get(&Self::neighborhood(space, point))
+                    .is_some_and(|s| s.failures == 0 && s.passes >= 1);
+                if p.demoted && corroborated {
+                    continue;
+                }
             }
             let class = match urgency {
                 Urgency::Escalated => 0,
@@ -216,9 +230,8 @@ mod tests {
             offset,
             caller: Some(caller.into()),
             retval: -1,
-            errno: None,
-            class: None,
             reached: Some(true),
+            ..FaultPoint::default()
         }
     }
 
@@ -390,6 +403,54 @@ mod tests {
         // The checked point (index 2) is dropped; the unchecked one is
         // still explored (deprioritization never silences unchecked sites).
         assert_eq!(batch, vec![3]);
+    }
+
+    #[test]
+    fn demoted_points_prune_after_a_single_corroborating_pass() {
+        use lfi_analyzer::PropagationVerdict;
+
+        // A demoted point and a merely checked point in the same caller.
+        let mut demoted = point("quiet", 0);
+        demoted.class = Some(CallSiteClass::Checked);
+        demoted.verdict = Some(PropagationVerdict::HandledLocally);
+        demoted.demoted = true;
+        let mut checked = point("quiet", 4);
+        checked.class = Some(CallSiteClass::Checked);
+        let fresh = point("fresh", 8);
+        let space = space_of(vec![demoted, checked, fresh]);
+
+        let strategy = CoverageAdaptive {
+            batch: 10,
+            pass_threshold: 3,
+            prune_saturated: true,
+        };
+
+        // One passing run in `quiet` — far below the deprioritization
+        // threshold, but enough to corroborate the static proof.
+        let mut history = CampaignHistory::for_space_size(space.len());
+        history.begin_batch(&[1], 1);
+        history.observe(record(1, OutcomeKind::Passed, None));
+        let batch = strategy.next_batch(&space, &history);
+        // Point 1 was already dispatched; the demoted point 0 is skipped on
+        // the strength of one corroborating pass, leaving only `fresh`.
+        assert_eq!(batch, vec![2]);
+
+        // A failure in the neighborhood blocks the fast prune.
+        let mut crashed = CampaignHistory::for_space_size(space.len());
+        crashed.begin_batch(&[1], 1);
+        crashed.observe(record(1, OutcomeKind::Crashed, Some("quiet")));
+        let batch = strategy.next_batch(&space, &crashed);
+        assert!(
+            batch.contains(&0),
+            "a crash in the neighborhood keeps the demoted point scheduled"
+        );
+
+        // With no corroborating runs at all, the demoted point stays queued
+        // (last, per its rank) — static pruning alone never drops a unit.
+        let empty = CampaignHistory::for_space_size(space.len());
+        let batch = strategy.next_batch(&space, &empty);
+        assert_eq!(batch.last(), Some(&0));
+        assert_eq!(batch.len(), 3);
     }
 
     #[test]

@@ -309,9 +309,7 @@ mod tests {
                     offset: (i as u64) * 4,
                     caller: Some("main".into()),
                     retval: -1,
-                    errno: None,
-                    class: None,
-                    reached: None,
+                    ..FaultPoint::default()
                 })
                 .collect(),
         }

@@ -89,7 +89,7 @@ pub use engine::{
 pub use events::{CampaignEvent, EventLog, EventSink, JsonlSink};
 pub use history::CampaignHistory;
 pub use shard::{ShardMergeError, ShardOutcome, ShardSpec, ShardSpecError};
-pub use space::{FaultPoint, FaultSpace};
+pub use space::{FaultPoint, FaultSpace, PruneStats};
 pub use standard::{
     default_test_suite, run_target, run_target_with_budget, StandardExecutor, STOCK_TARGETS,
 };

@@ -13,7 +13,7 @@
 //! * baseline reachability — call sites the default test suite never
 //!   executes cannot inject, so guided strategies prune them.
 
-use lfi_analyzer::{CallSiteClass, CallSiteReport};
+use lfi_analyzer::{CallSiteClass, CallSiteReport, PropagationReport, PropagationVerdict};
 use lfi_arch::Word;
 use lfi_core::Scenario;
 use lfi_obj::Module;
@@ -22,7 +22,7 @@ use lfi_vm::Coverage;
 
 /// One concrete fault point: inject `retval`/`errno` into `function` at the
 /// call site `offset` of `target`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPoint {
     /// Target program (module) name.
     pub target: String,
@@ -40,6 +40,17 @@ pub struct FaultPoint {
     pub class: Option<CallSiteClass>,
     /// Whether the baseline suite reaches the call site, when annotated.
     pub reached: Option<bool>,
+    /// Interprocedural propagation verdict, when annotated.
+    pub verdict: Option<PropagationVerdict>,
+    /// The analyzer's classification came from a truncated CFG, so `class`
+    /// and `verdict` are not definitive (set by [`annotate_analysis`]).
+    ///
+    /// [`annotate_analysis`]: FaultSpace::annotate_analysis
+    pub low_confidence: bool,
+    /// The static-prune pass demoted this point: its error return is
+    /// provably handled, so strategies explore it last (or, under
+    /// saturation pruning, skip it once runtime evidence corroborates).
+    pub demoted: bool,
 }
 
 impl FaultPoint {
@@ -53,6 +64,17 @@ impl FaultPoint {
             self.errno,
         )
     }
+}
+
+/// Outcome of a [`FaultSpace::static_prune`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Fault points examined.
+    pub total: usize,
+    /// Points demoted because their verdict proves the error is handled.
+    pub demoted: usize,
+    /// Points exempt from demotion because their analysis is low-confidence.
+    pub low_confidence: usize,
 }
 
 /// The enumerated fault space of one or more target programs.
@@ -87,8 +109,7 @@ impl FaultSpace {
                     caller: exe.containing_function(offset).map(|e| e.name.clone()),
                     retval: case.retval,
                     errno: case.errno,
-                    class: None,
-                    reached: None,
+                    ..FaultPoint::default()
                 });
             }
         }
@@ -112,10 +133,59 @@ impl FaultSpace {
                     && point.offset == site.offset
                 {
                     point.class = Some(site.class);
+                    point.low_confidence = site.low_confidence;
                 }
             }
         }
         self
+    }
+
+    /// Annotate the points of `target` with interprocedural propagation
+    /// verdicts (see [`lfi_analyzer::propagation_reports`]).
+    pub fn annotate_propagation(
+        &mut self,
+        target: &str,
+        reports: &[PropagationReport],
+    ) -> &mut Self {
+        for report in reports {
+            for finding in &report.findings {
+                for point in &mut self.points {
+                    if point.target == target
+                        && point.function == report.function
+                        && point.offset == finding.offset
+                    {
+                        point.verdict = Some(finding.verdict);
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// The `StaticPrune` pass: demote every point whose error return is
+    /// provably handled (a confident [`PropagationVerdict`] of
+    /// `HandledLocally` or `PropagatedChecked`). Demoted points are never
+    /// removed — strategies explore them last, which keeps the differential
+    /// guarantee that pruning cannot drop a bug-finding unit — but the
+    /// adaptive strategy may skip them once runtime evidence corroborates
+    /// the static verdict. Low-confidence annotations (truncated CFGs)
+    /// block demotion.
+    pub fn static_prune(&mut self) -> PruneStats {
+        let mut stats = PruneStats {
+            total: self.points.len(),
+            ..PruneStats::default()
+        };
+        for point in &mut self.points {
+            if point.low_confidence {
+                stats.low_confidence += 1;
+                continue;
+            }
+            if point.verdict.is_some_and(|v| v.is_handled()) {
+                point.demoted = true;
+                stats.demoted += 1;
+            }
+        }
+        stats
     }
 
     /// Annotate the points of `target` with baseline reachability: a point
@@ -179,6 +249,14 @@ impl FaultSpace {
                 Some(false) => 0,
                 Some(true) => 1,
             }]);
+            mix(&[match point.verdict {
+                None => 0xf0,
+                Some(PropagationVerdict::HandledLocally) => 0,
+                Some(PropagationVerdict::PropagatedChecked) => 1,
+                Some(PropagationVerdict::PropagatedUnchecked) => 2,
+                Some(PropagationVerdict::Dropped) => 3,
+            }]);
+            mix(&[u8::from(point.low_confidence), u8::from(point.demoted)]);
             mix(&[0xff]);
         }
         hash
@@ -270,12 +348,8 @@ mod tests {
         let point = |target: &str| FaultPoint {
             target: target.to_string(),
             function: "read".into(),
-            offset: 0,
-            caller: None,
             retval: -1,
-            errno: None,
-            class: None,
-            reached: None,
+            ..FaultPoint::default()
         };
         let space = FaultSpace {
             points: vec![
@@ -322,5 +396,53 @@ mod tests {
         let mut reached = space.clone();
         reached.annotate_reached("demo", &Coverage::new());
         assert_ne!(bare, reached.digest());
+
+        // The propagation verdict and prune outcome are identity too: a
+        // checkpoint taken before pruning must not resume after it.
+        let mut verdict = space.clone();
+        verdict.points[0].verdict = Some(PropagationVerdict::HandledLocally);
+        assert_ne!(bare, verdict.digest());
+        let mut low = space.clone();
+        low.points[0].low_confidence = true;
+        assert_ne!(bare, low.digest());
+        let mut demoted = space.clone();
+        demoted.points[0].demoted = true;
+        assert_ne!(bare, demoted.digest());
+    }
+
+    #[test]
+    fn propagation_annotation_and_prune_demote_handled_points() {
+        let exe = demo_exe();
+        let libc = lfi_libc::build();
+        let profile = lfi_profiler::profile_library(&libc);
+        let mut space = FaultSpace::new();
+        space.add_target("demo", &exe, &profile);
+        let config = lfi_analyzer::AnalysisConfig::default();
+        let reports = lfi_analyzer::analyze_program(&exe, &profile, config);
+        space.annotate_analysis("demo", &reports);
+        let propagation = lfi_analyzer::propagation_reports(&[&exe, &libc], &reports, config);
+        space.annotate_propagation("demo", &propagation);
+
+        // Every annotated point carries a verdict; the checked `open` site
+        // is handled locally, the unchecked `malloc` deref is not.
+        let open = space.points.iter().find(|p| p.function == "open").unwrap();
+        assert_eq!(open.verdict, Some(PropagationVerdict::HandledLocally));
+        let malloc = space
+            .points
+            .iter()
+            .find(|p| p.function == "malloc")
+            .unwrap();
+        assert!(malloc.verdict.is_some_and(|v| !v.is_handled()));
+
+        let stats = space.static_prune();
+        assert_eq!(stats.total, space.len());
+        assert!(stats.demoted >= 1);
+        for point in &space.points {
+            assert_eq!(
+                point.demoted,
+                !point.low_confidence && point.verdict.is_some_and(|v| v.is_handled()),
+                "prune must demote exactly the confidently handled points"
+            );
+        }
     }
 }

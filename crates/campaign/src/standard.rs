@@ -314,6 +314,15 @@ enum DeepenGoal<'a> {
 /// Pre-resolved telemetry handles for the executor's hot paths, so forks
 /// and deepening runs never take the registry's name-lookup mutex.
 struct ExecMetrics {
+    /// Wall time of the whole static-analysis phase of `fault_space`
+    /// (classification, propagation, and pruning, per call).
+    analysis_micros: Histogram,
+    /// Fault points examined by the static-prune pass.
+    analysis_sites_total: Counter,
+    /// Fault points demoted because propagation proved the error handled.
+    analysis_sites_pruned: Counter,
+    /// Fault points whose analysis came from a truncated CFG walk.
+    analysis_sites_low_confidence: Counter,
     session_prepare_micros: Histogram,
     tree_fork_micros: Histogram,
     tree_deepen_micros: Histogram,
@@ -338,6 +347,10 @@ struct ExecMetrics {
 impl ExecMetrics {
     fn resolve(telemetry: &Telemetry) -> ExecMetrics {
         ExecMetrics {
+            analysis_micros: telemetry.histogram("analysis_micros"),
+            analysis_sites_total: telemetry.counter("analysis_sites_total"),
+            analysis_sites_pruned: telemetry.counter("analysis_sites_pruned"),
+            analysis_sites_low_confidence: telemetry.counter("analysis_sites_low_confidence"),
             session_prepare_micros: telemetry.histogram("session_prepare_micros"),
             tree_fork_micros: telemetry.histogram("tree_fork_micros"),
             tree_deepen_micros: telemetry.histogram("tree_deepen_micros"),
@@ -476,8 +489,14 @@ impl StandardExecutor {
 
     /// Enumerate the fault space of the given targets (every call site of
     /// every profiled failing function), annotated with the call-site
-    /// analyzer's classification.
+    /// analyzer's classification and the interprocedural propagation
+    /// verdicts, then run the static-prune pass: points whose error return
+    /// is provably handled are demoted (explored last, fast-pruned by the
+    /// adaptive scheduler once runtime evidence corroborates the proof).
+    /// The phase's duration and prune counts land in the executor's
+    /// telemetry (`analysis_micros`, `analysis_sites_*`).
     pub fn fault_space(&self, targets: &[&str], profile: &FaultProfile) -> FaultSpace {
+        let _span = self.metrics.analysis_micros.start();
         let controller = standard_controller();
         let mut space = FaultSpace::new();
         for name in targets {
@@ -485,8 +504,16 @@ impl StandardExecutor {
                 .target(name)
                 .unwrap_or_else(|| panic!("unknown target {name}"));
             space.add_target(name, exe, profile);
-            space.annotate_analysis(name, &controller.analyze(exe));
+            let reports = controller.analyze(exe);
+            space.annotate_analysis(name, &reports);
+            space.annotate_propagation(name, &controller.analyze_propagation(exe, &reports));
         }
+        let stats = space.static_prune();
+        self.metrics.analysis_sites_total.add(stats.total as u64);
+        self.metrics.analysis_sites_pruned.add(stats.demoted as u64);
+        self.metrics
+            .analysis_sites_low_confidence
+            .add(stats.low_confidence as u64);
         space
     }
 

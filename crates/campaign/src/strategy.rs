@@ -104,9 +104,19 @@ impl Strategy for RandomSample {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct InjectionGuided;
 
-/// Priority rank of a classification (lower explores earlier).
-pub(crate) fn rank(class: Option<CallSiteClass>) -> u8 {
-    match class {
+/// Priority rank of a fault point (lower explores earlier). Interprocedural
+/// verdicts refine the per-site classification: a point whose error provably
+/// escapes unhandled ranks with the unchecked sites even if the local check
+/// pattern looked partial, and a statically demoted point sinks below every
+/// checked site — explored dead last, never dropped.
+pub(crate) fn rank(point: &crate::space::FaultPoint) -> u8 {
+    if point.demoted {
+        return 4;
+    }
+    if point.verdict.is_some_and(|v| !v.is_handled()) {
+        return 0;
+    }
+    match point.class {
         Some(CallSiteClass::Unchecked) => 0,
         Some(CallSiteClass::PartiallyChecked) => 1,
         None => 2,
@@ -115,13 +125,13 @@ pub(crate) fn rank(class: Option<CallSiteClass>) -> u8 {
 }
 
 /// The guided ordering over a space: unreached points pruned, the rest
-/// sorted by classification rank. Shared by [`InjectionGuided`] and the
+/// sorted by fault-point rank. Shared by [`InjectionGuided`] and the
 /// adaptive scheduler that starts from it.
 pub(crate) fn guided_order(space: &FaultSpace) -> Vec<usize> {
     let mut indices: Vec<usize> = (0..space.len())
         .filter(|&i| space.points[i].reached != Some(false))
         .collect();
-    indices.sort_by_key(|&i| (rank(space.points[i].class), i));
+    indices.sort_by_key(|&i| (rank(&space.points[i]), i));
     indices
 }
 
@@ -146,11 +156,8 @@ mod tests {
             target: "demo".into(),
             function: function.into(),
             offset,
-            caller: None,
             retval: -1,
-            errno: None,
-            class: None,
-            reached: None,
+            ..FaultPoint::default()
         }
     }
 
@@ -230,5 +237,32 @@ mod tests {
         // unchecked, partial, unknown, checked.
         assert_eq!(batch, vec![2, 3, 4, 1]);
         assert!(batch.len() < space.len(), "guided explores fewer points");
+    }
+
+    #[test]
+    fn verdicts_and_demotion_reorder_the_guided_schedule() {
+        use lfi_analyzer::PropagationVerdict;
+
+        // A partially checked site whose error provably escapes unhandled
+        // jumps to the front; a demoted point sinks below checked sites but
+        // is still scheduled (pruning never drops a unit).
+        let mut escaping = point("read", 0);
+        escaping.class = Some(CallSiteClass::PartiallyChecked);
+        escaping.verdict = Some(PropagationVerdict::PropagatedUnchecked);
+        let mut unchecked = point("read", 4);
+        unchecked.class = Some(CallSiteClass::Unchecked);
+        let mut checked = point("read", 8);
+        checked.class = Some(CallSiteClass::Checked);
+        checked.verdict = Some(PropagationVerdict::HandledLocally);
+        let mut demoted = point("read", 12);
+        demoted.class = Some(CallSiteClass::Unchecked);
+        demoted.verdict = Some(PropagationVerdict::PropagatedChecked);
+        demoted.demoted = true;
+
+        let space = space_of(vec![demoted, checked, escaping, unchecked]);
+        let history = empty_history(&space);
+        let batch = InjectionGuided.next_batch(&space, &history);
+        assert_eq!(batch, vec![2, 3, 1, 0]);
+        assert_eq!(batch.len(), space.len(), "demotion reorders, never drops");
     }
 }

@@ -65,9 +65,7 @@ fn demo_space(points: usize) -> FaultSpace {
                 offset: (i as u64) * 4,
                 caller: Some("main".into()),
                 retval: -1,
-                errno: None,
-                class: None,
-                reached: None,
+                ..FaultPoint::default()
             })
             .collect(),
     }

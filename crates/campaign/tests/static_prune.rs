@@ -1,0 +1,116 @@
+//! Differential safety of the static-prune pass, on real targets.
+//!
+//! `FaultSpace::static_prune` demotes fault points whose error return the
+//! interprocedural analysis proved handled. Demotion is a *priority*, not a
+//! proof of safety: the paper's seeded mysql-double-unlock bug lives in the
+//! recovery path of a checked `close` — exactly the kind of site the
+//! analysis demotes — so a demoted unit can still find a bug. The pass
+//! therefore claims two things, both checked here against git-lite and
+//! db-lite:
+//!
+//! 1. **Demotion never removes a unit** — the exhaustive sweep still runs
+//!    every demoted point, and at least one of them crashes (the
+//!    double-unlock bug), proving that hard-dropping on the static verdict
+//!    alone would lose a known bug.
+//! 2. **No lost crashes** — a pruned adaptive campaign (which skips a
+//!    demoted point only once a passing run, and no failure, in its caller
+//!    neighborhood corroborates the proof) reports exactly the same crash
+//!    signatures as the exhaustive sweep, in fewer units.
+
+use std::collections::BTreeSet;
+
+use lfi_campaign::{Campaign, CampaignReport, CoverageAdaptive, CrashSignature, StandardExecutor};
+use lfi_targets::standard_controller;
+
+fn signatures(report: &CampaignReport) -> Vec<CrashSignature> {
+    report
+        .triage
+        .buckets
+        .iter()
+        .map(|b| b.signature.clone())
+        .collect()
+}
+
+#[test]
+fn static_prune_never_drops_a_bug_finding_unit() {
+    let executor = StandardExecutor::new(&["git-lite", "db-lite"]);
+    let profile = standard_controller().profile_libraries();
+    let mut space = executor.fault_space(&["git-lite", "db-lite"], &profile);
+    executor.annotate_baseline_reachability(&mut space, 7);
+
+    // The propagation pass must have found provably handled sites to
+    // demote, or this differential proves nothing.
+    let demoted: BTreeSet<(String, String, u64)> = space
+        .points
+        .iter()
+        .filter(|p| p.demoted)
+        .map(|p| (p.target.clone(), p.function.clone(), p.offset))
+        .collect();
+    assert!(
+        !demoted.is_empty(),
+        "static prune must demote at least one point on real targets"
+    );
+
+    let adaptive_space = space.clone();
+
+    // Ground truth: the default exhaustive strategy runs every unit,
+    // demoted or not.
+    let exhaustive = Campaign::builder(space, &executor)
+        .jobs(2)
+        .seed(7)
+        .build()
+        .run_to_completion()
+        .report;
+    assert_eq!(exhaustive.executed_now, exhaustive.units_total);
+    assert!(exhaustive.triage.crashes > 0, "the sweep must find bugs");
+
+    // Every demoted point still executed, and at least one of them found a
+    // bug (db-lite's checked `close` with the fatal double-unlock recovery
+    // path) — demotion must stay a priority, never a drop.
+    let mut demoted_executed = BTreeSet::new();
+    let mut demoted_crashed = false;
+    for record in &exhaustive.records {
+        let key = (
+            record.target.clone(),
+            record.function.clone(),
+            record.offset,
+        );
+        if demoted.contains(&key) {
+            demoted_executed.insert(key);
+            demoted_crashed |= record.outcome == lfi_campaign::OutcomeKind::Crashed;
+        }
+    }
+    assert_eq!(
+        demoted_executed, demoted,
+        "the exhaustive sweep must execute every demoted point"
+    );
+    assert!(
+        demoted_crashed,
+        "a demoted (statically handled) point must still find the seeded \
+         double-unlock bug — hard-dropping on the verdict would lose it"
+    );
+
+    // A pruned adaptive campaign skips corroborated demoted points but
+    // must keep every crash signature.
+    let adaptive = Campaign::builder(adaptive_space, &executor)
+        .strategy(CoverageAdaptive {
+            prune_saturated: true,
+            ..CoverageAdaptive::default()
+        })
+        .jobs(2)
+        .seed(7)
+        .build()
+        .run_to_completion()
+        .report;
+    assert!(
+        adaptive.executed_now < exhaustive.executed_now,
+        "pruned adaptive ({}) must run fewer units than exhaustive ({})",
+        adaptive.executed_now,
+        exhaustive.executed_now
+    );
+    assert_eq!(
+        signatures(&adaptive),
+        signatures(&exhaustive),
+        "static pruning must not lose a crash signature"
+    );
+}

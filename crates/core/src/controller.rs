@@ -9,7 +9,9 @@
 use std::fmt;
 use std::sync::Arc;
 
-use lfi_analyzer::{analyze_program, AnalysisConfig, CallSiteReport};
+use lfi_analyzer::{
+    analyze_program, propagation_reports, AnalysisConfig, CallSiteReport, PropagationReport,
+};
 use lfi_obj::Module;
 use lfi_profiler::{profile_library, FaultProfile};
 use lfi_vm::{
@@ -246,6 +248,11 @@ impl Controller {
         self
     }
 
+    /// The registered shared libraries, in registration order.
+    pub fn libraries(&self) -> &[Module] {
+        &self.libraries
+    }
+
     /// Access the trigger registry (e.g. to register custom trigger classes).
     pub fn registry_mut(&mut self) -> &mut TriggerRegistry {
         &mut self.registry
@@ -274,6 +281,21 @@ impl Controller {
     /// registered libraries' fault profiles.
     pub fn analyze(&self, exe: &Module) -> Vec<CallSiteReport> {
         analyze_program(exe, &self.profile_libraries(), AnalysisConfig::default())
+    }
+
+    /// Run the interprocedural error-propagation pass over `exe`'s call-site
+    /// reports, resolving each site's verdict against the call graph of the
+    /// executable and every registered library (so the wrapper pattern is
+    /// judged by what the wrapper's callers do, not by the wrapper alone).
+    pub fn analyze_propagation(
+        &self,
+        exe: &Module,
+        reports: &[CallSiteReport],
+    ) -> Vec<PropagationReport> {
+        let mut modules: Vec<&Module> = Vec::with_capacity(self.libraries.len() + 1);
+        modules.push(exe);
+        modules.extend(self.libraries.iter());
+        propagation_reports(&modules, reports, AnalysisConfig::default())
     }
 
     /// Generate an injection scenario for all unchecked call sites of the

@@ -251,7 +251,7 @@ pub fn profile_library(module: &Module) -> FaultProfile {
 /// Whether a constant return value is plausibly an error indicator: negative
 /// values always are; zero only when the same path set `errno` (NULL-return
 /// style APIs such as `malloc`, `fopen`, `opendir`).
-fn is_error_value(retval: Word, errno: Option<Word>) -> bool {
+pub fn is_error_value(retval: Word, errno: Option<Word>) -> bool {
     retval < 0 || (retval == 0 && errno.is_some())
 }
 
