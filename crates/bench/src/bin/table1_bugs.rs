@@ -146,6 +146,16 @@ fn main() {
         });
     let result = table1_campaign(&options);
     println!("{}", result.report);
+    // Shared-deepening health line for CI: the claims table means no
+    // deepening run is ever discarded, so `discarded=` must read 0.
+    if let Some(metrics) = &result.report.metrics {
+        println!(
+            "tree deepen: discarded={} waited={} prefetched_nodes={}",
+            metrics.counter("tree_deepen_discarded"),
+            metrics.counter("tree_deepen_waited"),
+            metrics.counter("tree_prefetch_nodes"),
+        );
+    }
     if let Some((path, prior_state)) = prior {
         if prior_state.tag() == result.tag && prior_state.seed() == options.seed {
             println!(

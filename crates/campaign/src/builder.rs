@@ -80,13 +80,22 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
-    /// The execution backend (default: [`ExecBackend::Fresh`]).
+    /// The execution backend (default: [`ExecBackend::Fresh`]). Under
+    /// [`ExecBackend::Snapshot`] the engine also hands the executor each
+    /// batch's `(target, workload, function)` keys before draining it
+    /// ([`Executor::prefetch_batch`]) and lets the strategy reorder the
+    /// batch for snapshot reuse ([`crate::strategy::Strategy::order_units`])
+    /// — both pure performance hints; records are byte-identical across
+    /// backends either way.
     pub fn backend(mut self, backend: ExecBackend) -> Self {
         self.config.backend = backend;
         self
     }
 
-    /// Worker threads draining each batch (default: 1).
+    /// Worker threads draining each batch (default: 1). Workers share
+    /// per-session snapshot state: under the snapshot backend, concurrent
+    /// deepening is claimed by one worker per session and siblings wait on
+    /// (or fork past) the in-flight walk instead of duplicating it.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.config.jobs = jobs;
         self

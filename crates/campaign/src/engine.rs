@@ -75,7 +75,7 @@ use crate::history::CampaignHistory;
 use crate::shard::{ShardOutcome, ShardSpec};
 use crate::space::{FaultPoint, FaultSpace};
 use crate::state::CampaignState;
-use crate::strategy::Strategy;
+use crate::strategy::{DepthOracle, Strategy};
 use crate::triage::{crash_signatures, triage, CampaignReport, CrashSignature};
 
 /// How one campaign run ended, from the triage point of view.
@@ -227,6 +227,19 @@ impl std::fmt::Debug for Session {
     }
 }
 
+/// One planned unit's session coordinates, handed to
+/// [`Executor::prefetch_batch`] before a batch drains so executors that
+/// snapshot can warm per-session state for the whole batch at once.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PrefetchKey {
+    /// Target program.
+    pub target: String,
+    /// Workload arguments.
+    pub args: Vec<String>,
+    /// Function the unit injects.
+    pub function: String,
+}
+
 /// Runs work units against real targets. Implementations must be shareable
 /// across worker threads.
 ///
@@ -287,6 +300,26 @@ pub trait Executor: Sync {
     /// default delegates to a fresh run.
     fn execute_from(&self, _session: &Session, unit: &WorkUnit) -> Execution {
         self.execute(unit)
+    }
+
+    /// Hint the deduplicated `(target, workload, function)` keys of a batch
+    /// the engine is about to drain (snapshot backend only), with up to
+    /// `jobs` threads' worth of parallelism available. Executors that
+    /// snapshot can warm sessions speculatively — the stock executor
+    /// materializes every snapshot-tree depth the batch will fork in one
+    /// shared deepening walk per session, so the first unit per depth pays
+    /// a fork instead of the whole walk. A pure performance hint: results
+    /// must not depend on it. The default does nothing.
+    fn prefetch_batch(&self, _units: &[PrefetchKey], _jobs: usize) {}
+
+    /// The 1-based injectable-call depth at which `function` is first
+    /// intercepted under the `(target, args)` workload, when a prepared
+    /// session's certified trace places it (clamped to any session-depth
+    /// cap). Batch orderings consult it to group units by fork depth;
+    /// `None` means "unknown" and must order as "no information". The
+    /// default knows nothing.
+    fn first_call_depth(&self, _target: &str, _args: &[String], _function: &str) -> Option<usize> {
+        None
     }
 
     /// Cap the bytes of resident snapshot state sessions may keep
@@ -571,6 +604,16 @@ impl SessionCache {
             .values()
             .filter(|slot| matches!(slot.get(), Some(Some(_))))
             .count()
+    }
+}
+
+/// Adapter exposing the executor's session knowledge to
+/// [`Strategy::order_units`].
+struct ExecutorDepths<'a>(&'a dyn Executor);
+
+impl DepthOracle for ExecutorDepths<'_> {
+    fn first_call_depth(&self, target: &str, args: &[String], function: &str) -> Option<usize> {
+        self.0.first_call_depth(target, args, function)
     }
 }
 
@@ -910,7 +953,8 @@ impl<'a> Campaign<'a> {
             let units = self.units_for(&batch);
             history.begin_batch(&batch, units.len());
             progress.planned.fetch_add(units.len(), Ordering::Relaxed);
-            let pending: Vec<&WorkUnit> = units.iter().filter(|u| !state.completed(u.id)).collect();
+            let mut pending: Vec<&WorkUnit> =
+                units.iter().filter(|u| !state.completed(u.id)).collect();
             if let Some(sink) = sink {
                 sink.event(&CampaignEvent::BatchPlanned {
                     batch: history.batches(),
@@ -918,6 +962,29 @@ impl<'a> Campaign<'a> {
                     units: units.len(),
                     pending: pending.len(),
                 });
+            }
+            if self.config.backend == ExecBackend::Snapshot && !pending.is_empty() {
+                // Hand the executor the batch's session keys so it can warm
+                // per-session state (snapshot-tree prefetch) before workers
+                // start forking, then let the strategy reorder the batch for
+                // locality. Both are pure performance moves: the prefetch
+                // cannot change results, and ordering is a permutation of
+                // `pending` — `drain` sorts records by canonical unit id.
+                let mut keys: Vec<PrefetchKey> = pending
+                    .iter()
+                    .map(|u| PrefetchKey {
+                        target: u.point.target.clone(),
+                        args: u.args.clone(),
+                        function: u.point.function.clone(),
+                    })
+                    .collect();
+                keys.sort();
+                keys.dedup();
+                self.executor.prefetch_batch(&keys, self.config.jobs);
+                // Order after the prefetch: the prefetch prepares sessions
+                // and discovers first-call depths, which is exactly what
+                // the ordering consults.
+                strategy.order_units(&mut pending, &ExecutorDepths(self.executor));
             }
             let (fresh, workers) = self.drain(&pending, sink, &seen_signatures, &progress);
             peak_workers = peak_workers.max(workers);

@@ -83,7 +83,7 @@ pub use adaptive::CoverageAdaptive;
 pub use builder::{CampaignBuilder, CampaignDriver};
 pub use engine::{
     derive_seed, Campaign, CampaignConfig, CrashInfo, ExecBackend, Execution, Executor,
-    InjectedSite, OutcomeKind, ParseBackendError, RunRecord, Session, WorkUnit,
+    InjectedSite, OutcomeKind, ParseBackendError, PrefetchKey, RunRecord, Session, WorkUnit,
     DEFAULT_HEARTBEAT_INTERVAL, DEFAULT_SNAPSHOT_BUDGET,
 };
 pub use events::{CampaignEvent, EventLog, EventSink, JsonlSink};
@@ -94,7 +94,7 @@ pub use standard::{
     default_test_suite, run_target, run_target_with_budget, StandardExecutor, STOCK_TARGETS,
 };
 pub use state::CampaignState;
-pub use strategy::{Exhaustive, InjectionGuided, RandomSample, Strategy};
+pub use strategy::{DepthOracle, Exhaustive, InjectionGuided, RandomSample, Strategy};
 pub use triage::{triage, CampaignReport, CrashSignature, SignatureBucket, Triage};
 
 // Re-exported so downstream code can name profile types without an extra

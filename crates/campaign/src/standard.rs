@@ -31,11 +31,12 @@
 //!   blocks, or exhausts the instruction budget before the first
 //!   injectable call.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
-use lfi_core::{InjectionEngine, InjectionLog, PauseAtCall, TestConfig, TestOutcome, TestReport};
+use lfi_core::{InjectionEngine, InjectionLog, TestConfig, TestOutcome, TestReport};
 use lfi_obj::Module;
 use lfi_profiler::FaultProfile;
 use lfi_targets::{
@@ -46,10 +47,16 @@ use lfi_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use lfi_vm::{Coverage, Fault, Image, Machine, MachineSnapshot, NetHandle, NoHooks, RunExit};
 
 use crate::engine::{
-    derive_seed, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, Session, WorkUnit,
-    DEFAULT_SNAPSHOT_BUDGET,
+    derive_seed, CrashInfo, Execution, Executor, InjectedSite, OutcomeKind, PrefetchKey, Session,
+    WorkUnit, DEFAULT_SNAPSHOT_BUDGET,
 };
 use crate::space::FaultSpace;
+
+/// Bound on how long a fork waits for a concurrent claimed deepening pass
+/// to materialize its want before giving up and forking the deepest
+/// resident ancestor instead (correct either way — waiting only buys a
+/// deeper fork point).
+const DEEPEN_WAIT_BOUND: Duration = Duration::from_millis(250);
 
 /// Every stock evaluation target.
 pub const STOCK_TARGETS: [&str; 5] = ["bind-lite", "git-lite", "db-lite", "bft-lite", "httpd-lite"];
@@ -214,6 +221,10 @@ struct SnapshotTree {
     /// deterministic (seed-independent) and `at_index` replays along it are
     /// guaranteed to reproduce it.
     trace: Vec<String>,
+    /// Memoized first-call depths over `trace`: function → 1-based index of
+    /// its first certified call. Maintained by [`SnapshotTree::record_calls`]
+    /// so [`SnapshotTree::depth_of`] never rescans the trace on a fork.
+    first_depth: BTreeMap<String, usize>,
     /// Resident nodes in ascending depth order; `nodes[0]` is the root and
     /// is never evicted.
     nodes: Vec<SnapshotNode>,
@@ -222,17 +233,60 @@ struct SnapshotTree {
     complete: bool,
     /// Deepening is disabled: a deepening run consumed randomness or ended
     /// abnormally, so the trace cannot be extended. Resident nodes (all
-    /// certified before the cap) stay valid.
+    /// certified before the cap) stay valid, and exact depths within the
+    /// certified trace can still be materialized.
     capped: bool,
+    /// A claimed deepening pass ([`StandardExecutor::deepen_shared`]) is
+    /// walking this tree. Exactly one pass runs at a time; workers that
+    /// need deepening while a claim is held register their want below and
+    /// wait on [`PreparedSession::deepened`] instead of duplicating the
+    /// walk.
+    deepening: bool,
+    /// Exact depths workers/prefetchers want materialized. Consumed by the
+    /// claimed pass; reconciled against tree state by
+    /// [`SnapshotTree::normalize_wants`].
+    wanted_depths: BTreeSet<usize>,
+    /// Functions whose first-call depth is still unknown (discovery wants);
+    /// once the trace places one, it becomes an exact-depth want.
+    wanted_functions: BTreeSet<String>,
     /// Monotonic fork counter driving the LRU stamps.
     ticks: u64,
 }
 
 impl SnapshotTree {
     /// The 1-based depth of the workload's first call to `function`, when
-    /// it lies within the certified trace.
+    /// it lies within the certified trace (memoized — O(log n) map lookup).
     fn depth_of(&self, function: &str) -> Option<usize> {
-        self.trace.iter().position(|f| f == function).map(|p| p + 1)
+        self.first_depth.get(function).copied()
+    }
+
+    /// Whether a node at exactly `depth` is resident.
+    fn resident(&self, depth: usize) -> bool {
+        self.nodes.iter().any(|n| n.depth == depth)
+    }
+
+    /// Reconcile the registered wants with the tree's current state:
+    /// discovery wants the certified trace now places become exact-depth
+    /// wants (clamped to `max_depth`), discovery wants on a tree whose
+    /// trace can no longer extend are dropped, and depth wants already
+    /// resident — or outside the certified/capped reach — are dropped.
+    fn normalize_wants(&mut self, max_depth: usize) {
+        let placed: Vec<(String, usize)> = self
+            .wanted_functions
+            .iter()
+            .filter_map(|f| self.first_depth.get(f).map(|&d| (f.clone(), d)))
+            .collect();
+        for (function, depth) in placed {
+            self.wanted_functions.remove(&function);
+            self.wanted_depths.insert(depth.min(max_depth));
+        }
+        if self.complete || self.capped {
+            self.wanted_functions.clear();
+        }
+        let resident: Vec<usize> = self.nodes.iter().map(|n| n.depth).collect();
+        let trace_len = self.trace.len();
+        self.wanted_depths
+            .retain(|&d| d <= max_depth && d <= trace_len && !resident.contains(&d));
     }
 
     /// Index of the deepest resident node at depth <= `depth` (the root,
@@ -258,6 +312,7 @@ impl SnapshotTree {
                 ),
                 None => {
                     debug_assert_eq!(self.trace.len(), index - 1);
+                    self.first_depth.entry(call.clone()).or_insert(index);
                     self.trace.push(call.clone());
                 }
             }
@@ -280,6 +335,10 @@ struct PreparedSession {
     /// Shared resident-byte accounting with the owning executor.
     budget: Arc<SnapshotBudget>,
     tree: Mutex<SnapshotTree>,
+    /// Signaled by the claimed deepening pass after every node it
+    /// materializes (and when the claim is released), waking workers
+    /// blocked in [`StandardExecutor::fork_for`] on a registered want.
+    deepened: Condvar,
 }
 
 impl PreparedSession {
@@ -302,15 +361,6 @@ fn fork_node(tree: &mut SnapshotTree, index: usize, max_instructions: u64) -> (M
     (node.snapshot.fork(), budget_left)
 }
 
-/// What a deepening run is chasing: the workload's first call to a
-/// function the certified trace does not place yet (discovery), or an
-/// exact call index within the certified trace (materializing a resident
-/// node on an already-certified path).
-enum DeepenGoal<'a> {
-    Function(&'a str),
-    Index(usize),
-}
-
 /// Pre-resolved telemetry handles for the executor's hot paths, so forks
 /// and deepening runs never take the registry's name-lookup mutex.
 struct ExecMetrics {
@@ -326,17 +376,32 @@ struct ExecMetrics {
     session_prepare_micros: Histogram,
     tree_fork_micros: Histogram,
     tree_deepen_micros: Histogram,
-    /// Forks served directly by a resident node at the target depth.
+    /// Wall time of batch prefetch passes ([`Executor::prefetch_batch`]).
+    tree_prefetch_micros: Histogram,
+    /// Forks served by a node the forking unit did not have to deepen for:
+    /// already resident, or materialized by a concurrent pass / batch
+    /// prefetch while the unit waited.
     tree_fork_hits: Counter,
-    /// Forks that needed a deepening run first (discovery or exact-depth
-    /// materialization).
+    /// Forks served by a node the forking unit's own deepening pass had to
+    /// materialize.
     tree_fork_misses: Counter,
     tree_nodes_materialized: Counter,
     tree_nodes_evicted: Counter,
-    /// Deepening runs whose freshly materialized node was already resident
-    /// on re-lock — a concurrent worker won the race (see
-    /// [`StandardExecutor::deepen`]).
+    /// Safety net: a claimed deepening pass found its wanted depth already
+    /// resident. The claims protocol makes passes mutually exclusive, so
+    /// this should always read 0 — a nonzero value means duplicated
+    /// deepening work (the pre-claims race) has regressed, and CI asserts
+    /// on it.
     tree_deepen_discarded: Counter,
+    /// Forks that blocked on a concurrent claimed deepening pass instead
+    /// of duplicating its walk.
+    tree_deepen_waited: Counter,
+    /// Claimed deepening passes run (each may materialize many nodes).
+    tree_deepen_claimed: Counter,
+    /// Claimed passes initiated by a batch prefetch hint.
+    tree_prefetch_runs: Counter,
+    /// Nodes materialized by prefetch-initiated passes.
+    tree_prefetch_nodes: Counter,
     /// High-water mark of resident snapshot bytes across all sessions.
     snapshot_resident_bytes_hw: Gauge,
     /// Per-depth fork counters (`tree_fork_depth_<d>`), resolved lazily —
@@ -354,11 +419,16 @@ impl ExecMetrics {
             session_prepare_micros: telemetry.histogram("session_prepare_micros"),
             tree_fork_micros: telemetry.histogram("tree_fork_micros"),
             tree_deepen_micros: telemetry.histogram("tree_deepen_micros"),
+            tree_prefetch_micros: telemetry.histogram("tree_prefetch_micros"),
             tree_fork_hits: telemetry.counter("tree_fork_hits"),
             tree_fork_misses: telemetry.counter("tree_fork_misses"),
             tree_nodes_materialized: telemetry.counter("tree_nodes_materialized"),
             tree_nodes_evicted: telemetry.counter("tree_nodes_evicted"),
             tree_deepen_discarded: telemetry.counter("tree_deepen_discarded"),
+            tree_deepen_waited: telemetry.counter("tree_deepen_waited"),
+            tree_deepen_claimed: telemetry.counter("tree_deepen_claimed"),
+            tree_prefetch_runs: telemetry.counter("tree_prefetch_runs"),
+            tree_prefetch_nodes: telemetry.counter("tree_prefetch_nodes"),
             snapshot_resident_bytes_hw: telemetry.gauge("snapshot_resident_bytes_hw"),
             fork_depths: Mutex::new(BTreeMap::new()),
         }
@@ -588,9 +658,12 @@ impl StandardExecutor {
         // the workload has no injectable calls at all — its trace is empty
         // and complete, and forks of the finished machine replay the exit.
         let mut trace = Vec::new();
+        let mut first_depth = BTreeMap::new();
         let complete = match prep.prefix_exit {
             RunExit::Paused => {
-                trace.push(prep.paused_at.clone().expect("paused prefix names a call"));
+                let paused = prep.paused_at.clone().expect("paused prefix names a call");
+                first_depth.insert(paused.clone(), 1);
+                trace.push(paused);
                 false
             }
             _ => true,
@@ -618,11 +691,16 @@ impl StandardExecutor {
             budget: self.snapshot_budget.clone(),
             tree: Mutex::new(SnapshotTree {
                 trace,
+                first_depth,
                 nodes: vec![root],
                 complete,
                 capped: false,
+                deepening: false,
+                wanted_depths: BTreeSet::new(),
+                wanted_functions: BTreeSet::new(),
                 ticks: 0,
             }),
+            deepened: Condvar::new(),
         })
     }
 
@@ -631,12 +709,26 @@ impl StandardExecutor {
     /// interception of `function` (before that call every unit of the
     /// session behaves identically, whatever it injects — the engine
     /// charges trigger evaluations only against its own scenario's
-    /// function). When the certified trace does not place `function` yet,
-    /// one discovery run deepens the tree from its deepest node; when the
-    /// trace places it deeper than any resident node, the exact-depth node
-    /// is materialized by replaying the certified path from the deepest
-    /// ancestor. Either way later units of the same function fork the
-    /// resident node directly.
+    /// function).
+    ///
+    /// When no resident node sits at the target depth yet, the unit
+    /// registers a *want* on the tree — an exact depth when the certified
+    /// trace places the function, a discovery want when it does not — and
+    /// then either:
+    ///
+    /// * **claims** the tree's single deepening pass
+    ///   ([`StandardExecutor::deepen_shared`]) when none is running, or
+    /// * **waits** (bounded by [`DEEPEN_WAIT_BOUND`]) for the in-flight
+    ///   pass to materialize the want, instead of duplicating the same
+    ///   certified walk — the pre-claims protocol re-ran the path and
+    ///   discarded the loser's snapshot.
+    ///
+    /// A wait that times out falls back to the deepest resident ancestor:
+    /// correct (the ancestor precedes the target call), just a shallower
+    /// fork. Hit/miss accounting is by provenance: a fork is a miss only
+    /// when this unit's own pass materialized the node it forks; nodes
+    /// already resident — including ones another worker's pass or a batch
+    /// prefetch produced while this unit waited — are hits.
     fn fork_for(&self, prepared: &PreparedSession, function: &str) -> (Machine, u64) {
         let _span = self.metrics.tree_fork_micros.start();
         let mut tree = prepared.tree.lock().unwrap();
@@ -645,110 +737,135 @@ impl StandardExecutor {
             self.metrics.fork_at_depth(&self.telemetry, 1);
             return fork_node(&mut tree, 0, prepared.max_instructions);
         }
-        let mut deepened = false;
-        if tree.depth_of(function).is_none() && !tree.complete && !tree.capped {
-            tree = self.deepen(prepared, tree, DeepenGoal::Function(function));
-            deepened = true;
+        let mut waited = false;
+        let mut give_up = false;
+        let mut own_runs = 0usize;
+        let mut own_inserted: Vec<usize> = Vec::new();
+        loop {
+            let discovery = tree.depth_of(function).is_none() && !tree.complete && !tree.capped;
+            let target = tree
+                .depth_of(function)
+                .unwrap_or(usize::MAX)
+                .min(self.max_session_depth);
+            let index = tree.deepest_at_most(target);
+            let needs_node =
+                !discovery && tree.nodes[index].depth < target && target <= tree.trace.len();
+            // `own_runs` bounds pathological trees whose wants keep failing
+            // (a cap inside the certified region): after two of our own
+            // passes we serve whatever is resident.
+            if (!discovery && !needs_node) || give_up || own_runs >= 2 {
+                let depth = tree.nodes[index].depth;
+                if own_inserted.contains(&depth) {
+                    self.metrics.tree_fork_misses.inc();
+                } else {
+                    self.metrics.tree_fork_hits.inc();
+                }
+                self.metrics.fork_at_depth(&self.telemetry, depth);
+                return fork_node(&mut tree, index, prepared.max_instructions);
+            }
+            // Register the want so whichever pass runs — ours or the
+            // in-flight claimant's — materializes it.
+            if discovery {
+                tree.wanted_functions.insert(function.to_string());
+            } else {
+                tree.wanted_depths.insert(target);
+            }
+            if tree.deepening {
+                if !waited {
+                    self.metrics.tree_deepen_waited.inc();
+                    waited = true;
+                }
+                let (guard, timeout) = prepared
+                    .deepened
+                    .wait_timeout(tree, DEEPEN_WAIT_BOUND)
+                    .unwrap();
+                tree = guard;
+                give_up = timeout.timed_out() && tree.deepening;
+            } else {
+                own_runs += 1;
+                let (guard, inserted) = self.deepen_shared(prepared, tree, false);
+                tree = guard;
+                own_inserted.extend(inserted);
+            }
         }
-        let target_depth = tree
-            .depth_of(function)
-            .unwrap_or(usize::MAX)
-            .min(self.max_session_depth);
-        let mut index = tree.deepest_at_most(target_depth);
-        if tree.nodes[index].depth < target_depth && target_depth <= tree.trace.len() {
-            tree = self.deepen(prepared, tree, DeepenGoal::Index(target_depth));
-            index = tree.deepest_at_most(target_depth);
-            deepened = true;
-        }
-        if deepened {
-            self.metrics.tree_fork_misses.inc();
-        } else {
-            self.metrics.tree_fork_hits.inc();
-        }
-        self.metrics
-            .fork_at_depth(&self.telemetry, tree.nodes[index].depth);
-        fork_node(&mut tree, index, prepared.max_instructions)
     }
 
-    /// Run one deepening pass over a session: fork a resident node, resume
-    /// it (unseeded — deepening stays on the root seed's path, which is
-    /// what the certified trace describes) until the goal, and store the
-    /// endpoint as a new resident node when it is certified reusable.
+    /// The tree's single claimed deepening pass: while wants are registered
+    /// — exact depths to materialize, functions to discover — step the
+    /// workload one injectable call at a time along the certified path
+    /// (unseeded: deepening stays on the root seed's path, which is what
+    /// the certified trace describes), snapshotting **every** wanted depth
+    /// it passes. One walk therefore materializes all intermediate nodes a
+    /// batch needs, instead of one endpoint per run; wants registered by
+    /// other workers *while the pass runs* are absorbed into the same walk.
     ///
-    /// The endpoint decides the tree's fate:
+    /// Each step's endpoint decides the tree's fate exactly as before:
+    /// paused + pristine RNG certifies the next call into the trace;
+    /// exited + pristine marks the trace complete; anything else
+    /// (randomness consumed, crash, block, budget) caps the tree — resident
+    /// nodes stay valid, and remaining wants within the already-certified
+    /// trace are still served by re-forking the deepest resident ancestor.
     ///
-    /// * paused with a pristine RNG — the path up to the pause is
-    ///   deterministic for every seed; certify it into the trace and keep
-    ///   the snapshot;
-    /// * exited with a pristine RNG — certify the forwarded calls and mark
-    ///   the trace complete (the goal function is never called);
-    /// * anything else (randomness consumed, crash, block, budget) — cap
-    ///   the tree: nothing beyond the already-certified trace can be
-    ///   trusted seed-independently, so deepening stops. Resident nodes,
-    ///   all certified earlier, stay valid.
-    ///
-    /// The tree mutex is **released while the deepening run executes** —
-    /// the run is the expensive part, and concurrent units whose fork
-    /// point is already resident should not serialize behind it. The
-    /// consequence is a benign race: two workers may deepen toward the
-    /// same depth concurrently, and the loser finds the depth already
-    /// resident when it re-locks. Both runs replayed the same certified
-    /// deterministic path, so the resident node is interchangeable with
-    /// the loser's; the duplicate snapshot is dropped, counted as
-    /// `tree_deepen_discarded`, and reported through the telemetry note
-    /// channel rather than discarded silently.
-    fn deepen<'a>(
+    /// The tree mutex is released around every step (the forked machine is
+    /// self-contained), so waiters and new want registrations interleave
+    /// with the walk; the claim flag keeps passes mutually exclusive, which
+    /// is what guarantees `tree_deepen_discarded` stays 0. Returns the
+    /// re-acquired guard and the depths this pass materialized.
+    fn deepen_shared<'a>(
         &self,
         prepared: &'a PreparedSession,
         mut tree: MutexGuard<'a, SnapshotTree>,
-        goal: DeepenGoal,
-    ) -> MutexGuard<'a, SnapshotTree> {
+        prefetch: bool,
+    ) -> (MutexGuard<'a, SnapshotTree>, Vec<usize>) {
         let _span = self.metrics.tree_deepen_micros.start();
-        let base_index = match goal {
-            DeepenGoal::Function(_) => tree.nodes.len() - 1,
-            DeepenGoal::Index(depth) => tree.deepest_at_most(depth),
-        };
-        let base_depth = tree.nodes[base_index].depth;
-        let (machine, _) = fork_node(&mut tree, base_index, prepared.max_instructions);
-        let tracked = self.injectable().iter().cloned();
-        let pause = match goal {
-            DeepenGoal::Function(function) => PauseAtCall::at_function(tracked, function),
-            // The base node pauses before call `base_depth`, so the resume
-            // observes that call first: absolute index `depth` is relative
-            // index `depth - base_depth + 1`.
-            DeepenGoal::Index(depth) => {
-                PauseAtCall::at_index(tracked, (depth - base_depth + 1) as u64)
-            }
-        };
-        // The forked machine is self-contained — evictions or extensions
-        // of the tree while the run executes cannot invalidate it.
-        drop(tree);
-        let prep = standard_controller().deepen_session(machine, pause, prepared.max_instructions);
-        let mut machine = prep.machine;
-        let mut tree = prepared.tree.lock().unwrap();
-        if !machine.rng_is_pristine() {
-            tree.capped = true;
-            return tree;
+        debug_assert!(!tree.deepening, "claims are mutually exclusive");
+        tree.deepening = true;
+        self.metrics.tree_deepen_claimed.inc();
+        if prefetch {
+            self.metrics.tree_prefetch_runs.inc();
         }
-        match prep.prefix_exit {
-            RunExit::Paused => {
-                tree.record_calls(base_depth, &prep.forwarded);
-                let depth = base_depth + prep.forwarded.len();
-                tree.record_calls(
-                    depth,
-                    std::slice::from_ref(
-                        prep.paused_at.as_ref().expect("paused resume names a call"),
-                    ),
-                );
-                if tree.nodes.iter().any(|node| node.depth == depth) {
+        let mut inserted = Vec::new();
+        // The walk: a machine paused before injectable call `at`, plus the
+        // depth of the resident node its accumulated coverage extends
+        // (`cov_parent` — coverage is drained at every materialized node,
+        // so each node stores only its increment).
+        let mut stepper: Option<(Machine, usize, usize)> = None;
+        loop {
+            tree.normalize_wants(self.max_session_depth);
+            let depth_goal = tree.wanted_depths.iter().next().copied();
+            let discovering = !tree.wanted_functions.is_empty();
+            if depth_goal.is_none() && !discovering {
+                break;
+            }
+            let bound = depth_goal.unwrap_or(usize::MAX);
+            // (Re-)position the walk: fork the deepest resident ancestor
+            // when no machine is in flight, when a new shallower want
+            // arrived behind the machine, or when a resident node now sits
+            // deeper than the machine (forking it skips re-stepping).
+            let index = tree.deepest_at_most(bound);
+            let node_depth = tree.nodes[index].depth;
+            let refork = match &stepper {
+                Some((_, at, _)) => *at > bound || node_depth > *at,
+                None => true,
+            };
+            if refork {
+                let (machine, _) = fork_node(&mut tree, index, prepared.max_instructions);
+                stepper = Some((machine, node_depth, node_depth));
+            }
+            let (mut machine, at, cov_parent) = stepper.take().expect("walk was positioned");
+            if depth_goal == Some(at) {
+                // Paused exactly at a wanted depth: record it.
+                tree.wanted_depths.remove(&at);
+                if tree.resident(at) {
+                    // Unreachable under the claim (normalize_wants drops
+                    // resident wants and only this pass inserts); kept as
+                    // a counted safety net so a regression is visible.
                     self.metrics.tree_deepen_discarded.inc();
                     self.telemetry.note(
                         "snapshot-tree",
-                        format!(
-                            "deepening run lost a race to depth {depth}; \
-                             duplicate snapshot discarded"
-                        ),
+                        format!("claimed deepening pass found depth {at} already resident"),
                     );
+                    stepper = Some((machine, at, cov_parent));
                 } else {
                     let post_coverage = machine.take_coverage();
                     let snapshot = machine.snapshot();
@@ -758,8 +875,8 @@ impl StandardExecutor {
                         prepared,
                         &mut tree,
                         SnapshotNode {
-                            depth,
-                            parent_depth: base_depth,
+                            depth: at,
+                            parent_depth: cov_parent,
                             snapshot,
                             post_coverage,
                             bytes,
@@ -767,15 +884,100 @@ impl StandardExecutor {
                         },
                     );
                     self.metrics.tree_nodes_materialized.inc();
+                    if prefetch {
+                        self.metrics.tree_prefetch_nodes.inc();
+                    }
+                    inserted.push(at);
+                    // Keep walking only while the coverage lineage stays
+                    // resident: a starved budget can evict the node on
+                    // insertion, and chaining the next increment to the
+                    // hole would lose the evicted interval's coverage.
+                    stepper = tree.resident(at).then_some((machine, at, at));
+                }
+                prepared.deepened.notify_all();
+                continue;
+            }
+            // Advance one injectable call. The fork is self-contained —
+            // evictions or extensions of the tree while the step runs
+            // cannot invalidate it — so the lock is dropped meanwhile.
+            drop(tree);
+            let prep = standard_controller().step_session(
+                machine,
+                self.injectable().iter().cloned(),
+                prepared.max_instructions,
+            );
+            let machine = prep.machine;
+            tree = prepared.tree.lock().unwrap();
+            if !machine.rng_is_pristine() {
+                tree.capped = true;
+                if let Some(goal) = depth_goal {
+                    // Consume the want we were chasing so the pass (and
+                    // its waiters) cannot spin on an unmaterializable
+                    // depth; the unit forks the deepest resident ancestor.
+                    tree.wanted_depths.remove(&goal);
+                }
+                continue;
+            }
+            match prep.prefix_exit {
+                RunExit::Paused => {
+                    tree.record_calls(at, &prep.forwarded);
+                    let paused = at + prep.forwarded.len();
+                    tree.record_calls(
+                        paused,
+                        std::slice::from_ref(
+                            prep.paused_at.as_ref().expect("paused step names a call"),
+                        ),
+                    );
+                    stepper = Some((machine, paused, cov_parent));
+                }
+                RunExit::Exited(_) => {
+                    tree.record_calls(at, &prep.forwarded);
+                    tree.complete = true;
+                }
+                RunExit::Fault(_) | RunExit::Blocked | RunExit::Budget => {
+                    tree.capped = true;
+                    if let Some(goal) = depth_goal {
+                        tree.wanted_depths.remove(&goal);
+                    }
                 }
             }
-            RunExit::Exited(_) => {
-                tree.record_calls(base_depth, &prep.forwarded);
-                tree.complete = true;
-            }
-            RunExit::Fault(_) | RunExit::Blocked | RunExit::Budget => tree.capped = true,
         }
-        tree
+        tree.deepening = false;
+        prepared.deepened.notify_all();
+        (tree, inserted)
+    }
+
+    /// Warm one session's snapshot tree for a planned batch: register every
+    /// batch function's needed depth (or a discovery want when the trace
+    /// does not place it yet) and run one claimed deepening pass that
+    /// materializes all of them in a single walk. When another worker
+    /// already holds the claim, its in-flight pass absorbs the registered
+    /// wants and nothing more is needed here.
+    fn prefetch_session(&self, target: &str, args: &[String], functions: &BTreeSet<String>) {
+        let Some(prepared) = self.prepared_session(target, args) else {
+            return;
+        };
+        let mut tree = prepared.tree.lock().unwrap();
+        for function in functions {
+            match tree.depth_of(function) {
+                Some(depth) => {
+                    let depth = depth.min(self.max_session_depth);
+                    if !tree.resident(depth) {
+                        tree.wanted_depths.insert(depth);
+                    }
+                }
+                None => {
+                    if !tree.complete && !tree.capped {
+                        tree.wanted_functions.insert(function.clone());
+                    }
+                }
+            }
+        }
+        if tree.deepening || (tree.wanted_depths.is_empty() && tree.wanted_functions.is_empty()) {
+            return;
+        }
+        let (tree, _) = self.deepen_shared(&prepared, tree, true);
+        drop(tree);
     }
 
     /// Insert a freshly certified node (kept in ascending depth order) and
@@ -864,6 +1066,18 @@ impl StandardExecutor {
         let mut total = 0;
         self.for_each_session(|p| total += p.tree.lock().unwrap().nodes.len());
         total
+    }
+
+    /// The resident node depths of every prepared session, in ascending
+    /// depth order per session — for tests asserting tree shape (e.g. that
+    /// concurrent deepening never materializes duplicate depths).
+    pub fn session_node_depths(&self) -> Vec<Vec<usize>> {
+        let mut all = Vec::new();
+        self.for_each_session(|p| {
+            let tree = p.tree.lock().unwrap();
+            all.push(tree.nodes.iter().map(|n| n.depth).collect());
+        });
+        all
     }
 
     /// Deepest injectable-call index any resident snapshot sits at.
@@ -1076,6 +1290,58 @@ impl Executor for StandardExecutor {
 
     fn prepare(&self, target: &str, args: &[String]) -> Option<Session> {
         self.prepared_session(target, args).map(Session::new)
+    }
+
+    fn prefetch_batch(&self, units: &[PrefetchKey], jobs: usize) {
+        if self.max_session_depth <= 1 {
+            return; // flat sessions have nothing beyond the root to warm
+        }
+        let _span = self.metrics.tree_prefetch_micros.start();
+        let mut groups: BTreeMap<SessionKey, BTreeSet<String>> = BTreeMap::new();
+        for key in units {
+            // Pairs that cannot snapshot (the cluster target, unknown
+            // targets) have no session to warm; unsnapshottable prefixes
+            // are filtered by `prefetch_session`'s memoized refusal.
+            if key.target == "bft-lite" || !self.targets.contains_key(&key.target) {
+                continue;
+            }
+            groups
+                .entry((key.target.clone(), key.args.clone()))
+                .or_default()
+                .insert(key.function.clone());
+        }
+        if groups.is_empty() {
+            return;
+        }
+        let groups: Vec<(SessionKey, BTreeSet<String>)> = groups.into_iter().collect();
+        let workers = jobs.max(1).min(groups.len());
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let next = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(((target, args), functions)) = groups.get(next) else {
+                        break;
+                    };
+                    self.prefetch_session(target, args, functions);
+                });
+            }
+        });
+    }
+
+    fn first_call_depth(&self, target: &str, args: &[String], function: &str) -> Option<usize> {
+        // Peek the memoized session without building one: ordering is a
+        // hint, and a session worth preparing is prepared by the prefetch
+        // (or the first unit) anyway.
+        let slot = self
+            .prepared
+            .lock()
+            .unwrap()
+            .get(&(target.to_string(), args.to_vec()))
+            .cloned()?;
+        let prepared = slot.get()?.as_ref()?;
+        let depth = prepared.tree.lock().unwrap().depth_of(function)?;
+        Some(depth.min(self.max_session_depth))
     }
 
     fn set_snapshot_budget(&self, bytes: u64) {

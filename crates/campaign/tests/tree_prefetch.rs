@@ -1,0 +1,145 @@
+//! Concurrency stress for the shared-deepening claims table and batch
+//! prefetch: many workers hammering [`Executor::execute_from`] and
+//! [`Executor::prefetch_batch`] over **one** shared session must never
+//! duplicate a tree depth or throw a deepening run away — and a full
+//! jobs=4 campaign with prefetch on must stay record-identical to the
+//! flat single-snapshot session model.
+
+use lfi_campaign::{
+    derive_seed, Campaign, ExecBackend, Executor, FaultSpace, PrefetchKey, StandardExecutor,
+    WorkUnit,
+};
+use lfi_targets::standard_controller;
+
+/// Functions sitting at different first-call depths in the git-lite
+/// workloads, so deepening has real work to race over.
+const FUNCTIONS: [&str; 5] = ["opendir", "setenv", "readlink", "close", "read"];
+
+fn git_space(executor: &StandardExecutor) -> FaultSpace {
+    let profile = standard_controller().profile_libraries();
+    let mut space = executor.fault_space(&["git-lite"], &profile);
+    space.retain(|p| FUNCTIONS.contains(&p.function.as_str()));
+    space
+}
+
+/// Every resident tree depth across every prepared session, asserting no
+/// session holds two nodes at the same depth (a lost deepening race would
+/// materialize duplicates before one copy is discarded).
+fn assert_no_duplicate_depths(executor: &StandardExecutor) {
+    for depths in executor.session_node_depths() {
+        let mut dedup = depths.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(
+            dedup.len(),
+            depths.len(),
+            "a session tree holds duplicate depths: {depths:?}"
+        );
+    }
+}
+
+/// Four workers interleaving direct `execute_from` calls with whole-batch
+/// `prefetch_batch` hints against a single prepared session. The claims
+/// table must serialize the deepening walks (discarded reads 0) while the
+/// node set stays duplicate-free.
+#[test]
+fn concurrent_forks_and_prefetch_share_one_deepening_walk() {
+    let executor = StandardExecutor::new(&["git-lite"]);
+    let space = git_space(&executor);
+    assert!(!space.is_empty());
+
+    // One workload → one shared session for every unit below.
+    let args = executor.workloads("git-lite").remove(0);
+    let units: Vec<WorkUnit> = space
+        .points
+        .iter()
+        .enumerate()
+        .map(|(id, point)| WorkUnit {
+            id,
+            point: point.clone(),
+            scenario: point.scenario(),
+            args: args.clone(),
+            seed: derive_seed(7, id as u64),
+        })
+        .collect();
+    let keys: Vec<PrefetchKey> = units
+        .iter()
+        .map(|unit| PrefetchKey {
+            target: unit.point.target.clone(),
+            args: unit.args.clone(),
+            function: unit.point.function.clone(),
+        })
+        .collect();
+    let session = executor
+        .prepare("git-lite", &args)
+        .expect("git-lite snapshots");
+
+    std::thread::scope(|scope| {
+        for worker in 0..4usize {
+            let (executor, session, units, keys) = (&executor, &session, &units, &keys);
+            scope.spawn(move || {
+                for round in 0..2usize {
+                    // Half the workers lead each round with the batch
+                    // hint, so prefetch walks race demand-driven forks.
+                    if (worker + round) % 2 == 0 {
+                        executor.prefetch_batch(keys, 4);
+                    }
+                    for unit in units {
+                        executor.execute_from(session, unit);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_no_duplicate_depths(&executor);
+    let metrics = Executor::telemetry(&executor).snapshot();
+    assert_eq!(
+        metrics.counter("tree_deepen_discarded"),
+        0,
+        "the claims table must make lost deepening races impossible"
+    );
+    assert!(
+        metrics.counter("tree_deepen_claimed") >= 1,
+        "at least one worker claimed a deepening walk"
+    );
+    assert!(
+        metrics.counter("tree_prefetch_nodes") + metrics.counter("tree_nodes_materialized") > 0,
+        "deepening materialized nodes beyond the session root"
+    );
+}
+
+/// The whole pipeline at jobs=4 — batch prefetch, reuse-aware ordering,
+/// shared deepening — must remain a pure optimization: records identical
+/// to the flat single-snapshot session model, zero discarded walks, no
+/// duplicate depths.
+#[test]
+fn prefetching_campaign_matches_flat_sessions_at_four_jobs() {
+    let run = |executor: &StandardExecutor| {
+        let mut space = git_space(executor);
+        executor.annotate_baseline_reachability(&mut space, 7);
+        let driver = Campaign::builder(space, executor)
+            .jobs(4)
+            .seed(7)
+            .backend(ExecBackend::Snapshot)
+            .build();
+        driver.run_to_completion().report
+    };
+
+    let tree_executor = StandardExecutor::new(&["git-lite"]);
+    let tree = run(&tree_executor);
+    assert_no_duplicate_depths(&tree_executor);
+    let metrics = tree.metrics.as_ref().expect("telemetry on by default");
+    assert_eq!(metrics.counter("tree_deepen_discarded"), 0);
+    assert!(
+        metrics.counter("tree_prefetch_runs") >= 1,
+        "batch prefetch must claim deepening walks under the tree model"
+    );
+
+    let mut flat_executor = StandardExecutor::new(&["git-lite"]);
+    flat_executor.set_max_session_depth(1);
+    let flat = run(&flat_executor);
+
+    assert_eq!(tree.records, flat.records);
+    assert_eq!(tree.triage.buckets, flat.triage.buckets);
+}

@@ -416,6 +416,26 @@ impl Controller {
         }
     }
 
+    /// Advance a machine paused at an injectable call to the *next*
+    /// injectable call — [`Controller::deepen_session`] in its
+    /// pause-at-each-call mode. The re-observed paused call is forwarded
+    /// (appearing in [`SessionPrep::forwarded`]) and the machine stops one
+    /// call later, so a caller looping over `step_session` visits every
+    /// intermediate call of a deepening walk and can snapshot each one,
+    /// instead of paying one full walk per depth.
+    pub fn step_session<I, S>(
+        &self,
+        machine: Machine,
+        functions: I,
+        max_instructions: u64,
+    ) -> SessionPrep
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.deepen_session(machine, PauseAtCall::at_next(functions), max_instructions)
+    }
+
     /// Run a workload to its terminal state, recording the order of every
     /// call to `functions` — the injectable-call trace that session trees
     /// are keyed by (used by benches to measure injection depth).

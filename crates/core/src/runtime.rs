@@ -409,6 +409,22 @@ impl PauseAtCall {
         PauseAtCall::with_mode(functions, PauseMode::AtIndex(k.max(1)))
     }
 
+    /// Pause before the *next* tracked call after a previous pause point —
+    /// the single step of pause-at-each-call deepening. A machine paused by
+    /// another `PauseAtCall` re-observes its paused call on resume, so this
+    /// is `at_index(functions, 2)`: the re-observed call is forwarded (and
+    /// recorded) and the machine stops before the one after it. Stepping a
+    /// prefix with a fresh `at_next` handler per step therefore visits
+    /// every injectable call exactly once, which is how one deepening pass
+    /// can snapshot all intermediate depths instead of only its endpoint.
+    pub fn at_next<I, S>(functions: I) -> PauseAtCall
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PauseAtCall::at_index(functions, 2)
+    }
+
     /// Pause before the first call to `function` specifically, forwarding
     /// (and recording) calls to the other tracked `functions` on the way.
     pub fn at_function<I, S>(functions: I, function: impl Into<String>) -> PauseAtCall
