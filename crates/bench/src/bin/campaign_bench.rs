@@ -25,6 +25,13 @@
 //!   default registry) vs off (a no-op registry installed with
 //!   [`StandardExecutor::set_telemetry`]), best of two runs each,
 //!   reporting the collection overhead in percent.
+//! * **supervisor** — the throughput sweep run through the distributed
+//!   control plane: two supervised `campaign_worker` processes at
+//!   `--jobs` each vs one in-process campaign at `2 × --jobs` (same
+//!   total parallelism), identical records required. The ratio is the
+//!   cost of supervision itself — process spawn, JSONL transport, lease
+//!   checkpoints, merge. Skipped with a warning when the
+//!   `campaign_worker` binary is not built next to `campaign_bench`.
 //!
 //! Instrumented lanes also report the snapshot-tree cache hit rate and
 //! the per-phase time split (session prepare, tree fork/deepen/prefetch,
@@ -48,6 +55,7 @@ use lfi_campaign::{
 };
 use lfi_core::TestConfig;
 use lfi_json::Value;
+use lfi_supervisor::{run_supervised, sibling_worker_bin, SpaceSpec, SupervisorOptions};
 use lfi_targets::{git_lite, standard_controller, FsSetupWorkload, KNOWN_BUGS};
 
 const HUNT_TARGETS: [&str; 4] = ["bind-lite", "git-lite", "db-lite", "bft-lite"];
@@ -378,6 +386,63 @@ fn main() {
         bugs_found.push((lane.backend.to_string(), table.found.len()));
     }
 
+    // Supervisor section: the distributed control plane vs one big
+    // in-process campaign over the same git-lite sweep. Two workers at
+    // `jobs` each against one process at `2 * jobs` — equal total
+    // parallelism, so the lane ratio isolates the supervision overhead.
+    let mut supervisor_lanes: Vec<(String, Lane)> = Vec::new();
+    let mut supervisor_speedup: Option<f64> = None;
+    if let Some(worker_bin) = sibling_worker_bin() {
+        let single = run_lane(&make_git, &git_space, 2 * jobs, ExecBackend::Fresh);
+        let state_dir =
+            std::env::temp_dir().join(format!("lfi_bench_supervisor_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&state_dir);
+        // No retain: this must be the exact plan `git_space` enumerates,
+        // or the record-parity check below is vacuous.
+        let spec = SpaceSpec {
+            targets: vec!["git-lite".to_string()],
+            retain: Vec::new(),
+            baseline_seed: 7,
+        };
+        let mut options = SupervisorOptions::new(spec, &state_dir);
+        options.workers = 2;
+        options.jobs = jobs;
+        options.seed = 7;
+        options.worker_bin = worker_bin;
+        let start = Instant::now();
+        match run_supervised(&options) {
+            Err(err) => failures.push(format!("supervised sweep failed: {err}")),
+            Ok(outcome) => {
+                let seconds = start.elapsed().as_secs_f64();
+                if outcome.report.records != single.report.records {
+                    failures.push(
+                        "supervised sweep produced different records than the single process"
+                            .to_string(),
+                    );
+                }
+                // The merge reconstructs the report from checkpoints, so
+                // `executed_now` is not meaningful there; for lane
+                // throughput every record was executed this run.
+                let mut report = outcome.report;
+                report.executed_now = report.records.len();
+                let supervised = Lane {
+                    backend: ExecBackend::Fresh,
+                    seconds,
+                    report,
+                };
+                supervisor_speedup = Some(single.seconds / supervised.seconds.max(f64::EPSILON));
+                supervisor_lanes.push(("supervised".to_string(), supervised));
+                supervisor_lanes.push(("single-proc".to_string(), single));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&state_dir);
+    } else {
+        eprintln!(
+            "warning: campaign_worker binary not found next to campaign_bench; \
+             supervisor lane skipped"
+        );
+    }
+
     let mut lanes = vec![
         lane_json("throughput", jobs, &sweep_fresh),
         lane_json("throughput", jobs, &sweep_snapshot),
@@ -389,6 +454,9 @@ fn main() {
     lanes.push(lane_json("telemetry off", jobs, &telemetry_off));
     lanes.push(lane_json("table1", jobs, &hunt_fresh));
     lanes.push(lane_json("table1", jobs, &hunt_snapshot));
+    for (label, lane) in &supervisor_lanes {
+        lanes.push(lane_json(label, 2 * jobs, lane));
+    }
     let doc = Value::Obj(vec![
         (
             "benchmark".to_string(),
@@ -398,6 +466,12 @@ fn main() {
         (
             "snapshot_speedup".to_string(),
             Value::Str(format!("{speedup:.2}")),
+        ),
+        (
+            "supervisor_speedup".to_string(),
+            supervisor_speedup
+                .map(|ratio| Value::Str(format!("{ratio:.2}")))
+                .unwrap_or(Value::Null),
         ),
         (
             "telemetry_overhead_pct".to_string(),
@@ -463,6 +537,15 @@ fn main() {
     }
     print_lane("telemetry on", jobs, &telemetry_on);
     print_lane("telemetry off", jobs, &telemetry_off);
+    for (label, lane) in &supervisor_lanes {
+        print_lane(label, 2 * jobs, lane);
+    }
+    if let Some(ratio) = supervisor_speedup {
+        println!(
+            "supervised (2 workers x {jobs} jobs) vs single process ({} jobs): {ratio:.2}x",
+            2 * jobs
+        );
+    }
     println!("telemetry collection overhead: {telemetry_overhead_pct:.1}% (budget: 5%)");
     println!("snapshot speedup (throughput sweep): {speedup:.2}x (artifact: {out})");
     println!(

@@ -13,17 +13,23 @@
 //! is a protocol error and exits non-zero — the streams are a versioned
 //! wire format, not best-effort logs.
 //!
+//! Tailing rides [`lfi_telemetry::JsonlTail`], so a producer that
+//! truncates or rotates its stream file does not stall the view: the
+//! tail resets to the new beginning, the shard's rolling counters are
+//! rebuilt from the fresh stream, and the rotation is counted as a
+//! `stream_reset` note in the merged total.
+//!
 //! `--once` renders the current state of the streams and exits (CI mode);
 //! without it the tool polls every `--interval` milliseconds (default 500)
 //! until every stream has reported
 //! [`ShardFinished`](lfi_campaign::CampaignEvent::ShardFinished).
 
 use std::collections::BTreeSet;
-use std::io::{Read, Seek, SeekFrom};
 use std::process::exit;
 use std::time::Duration;
 
 use lfi_campaign::{CampaignEvent, MetricsSnapshot};
+use lfi_telemetry::JsonlTail;
 
 fn usage() -> ! {
     eprintln!("usage: campaign_status [--once] [--interval MS] EVENTS.jsonl [...]");
@@ -33,10 +39,8 @@ fn usage() -> ! {
 /// Rolling view of one shard's stream.
 struct ShardStream {
     path: String,
-    /// Bytes consumed so far; the next poll resumes here.
-    offset: u64,
-    /// Trailing bytes not yet terminated by a newline (a line mid-write).
-    partial: String,
+    /// Truncation-tolerant byte-offset tail over the stream file.
+    tail: JsonlTail,
     /// Shard label from the stream itself (heartbeat / shard_finished);
     /// the file name until one arrives.
     label: Option<String>,
@@ -50,15 +54,17 @@ struct ShardStream {
     /// Latest heartbeat metrics capture.
     metrics: Option<MetricsSnapshot>,
     notes: usize,
+    /// Stream truncations/rotations observed; each counts as one
+    /// `stream_reset` note in the merged total.
+    stream_resets: usize,
     finished: bool,
 }
 
 impl ShardStream {
     fn new(path: String) -> ShardStream {
         ShardStream {
+            tail: JsonlTail::new(&path),
             path,
-            offset: 0,
-            partial: String::new(),
             label: None,
             batches: 0,
             units_planned: 0,
@@ -68,33 +74,29 @@ impl ShardStream {
             signatures: BTreeSet::new(),
             metrics: None,
             notes: 0,
+            stream_resets: 0,
             finished: false,
         }
     }
 
     /// Read and apply every line completed since the last poll. A missing
     /// file is "no events yet" (the shard may not have started); a line
-    /// that does not parse is fatal.
+    /// that does not parse is fatal. A file that *shrank* was rotated by
+    /// its producer: the tail restarts from the top and the rolling
+    /// counters are rebuilt from the fresh stream.
     fn poll(&mut self) {
-        let mut file = match std::fs::File::open(&self.path) {
-            Ok(file) => file,
-            Err(_) => return,
-        };
-        if file.seek(SeekFrom::Start(self.offset)).is_err() {
-            return;
-        }
-        let mut chunk = String::new();
-        match file.read_to_string(&mut chunk) {
-            Ok(read) => self.offset += read as u64,
+        let poll = match self.tail.poll() {
+            Ok(poll) => poll,
             Err(err) => {
                 eprintln!("campaign_status: read {}: {err}", self.path);
                 exit(1);
             }
+        };
+        if poll.reset {
+            self.reset_view();
         }
-        self.partial.push_str(&chunk);
-        while let Some(end) = self.partial.find('\n') {
-            let line: String = self.partial.drain(..=end).collect();
-            let line = line.trim_end();
+        for line in &poll.lines {
+            let line = line.trim();
             if line.is_empty() {
                 continue;
             }
@@ -107,6 +109,21 @@ impl ShardStream {
             });
             self.apply(&event);
         }
+    }
+
+    /// Discards every counter derived from the previous file incarnation;
+    /// the new stream replays its own BatchPlanned/Heartbeat history.
+    fn reset_view(&mut self) {
+        self.batches = 0;
+        self.units_planned = 0;
+        self.units_done = 0;
+        self.finished_units = 0;
+        self.milli_units_per_sec = 0;
+        self.signatures.clear();
+        self.metrics = None;
+        self.notes = 0;
+        self.finished = false;
+        self.stream_resets += 1;
     }
 
     fn apply(&mut self, event: &CampaignEvent) {
@@ -210,7 +227,9 @@ fn render(streams: &[ShardStream]) {
         if !stream.finished {
             total_milli_rate += stream.milli_units_per_sec;
         }
-        total_notes += stream.notes;
+        // A rotation is surfaced as a synthetic `stream_reset` note so
+        // truncated streams are visible in the merged total, not silent.
+        total_notes += stream.notes + stream.stream_resets;
     }
     let cache = cache_hit_rate(&merged_metrics)
         .map(|rate| {

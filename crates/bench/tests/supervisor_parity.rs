@@ -1,0 +1,23 @@
+//! The supervisor's `table1` preset and the bench hunt must enumerate
+//! the exact same fault space: a supervised Table 1 campaign distributes
+//! the same plan the single-process hunt runs, or the comparison (and
+//! any mixed resume) is meaningless. Plan identity is the space digest,
+//! which covers points, ordering, and annotations.
+
+use lfi_bench::table1_fault_space;
+use lfi_campaign::StandardExecutor;
+use lfi_supervisor::SpaceSpec;
+
+#[test]
+fn the_table1_preset_builds_the_hunts_exact_space() {
+    let spec = SpaceSpec::table1();
+    let executor = StandardExecutor::new(&spec.target_names());
+    let preset = spec.build(&executor);
+    let hunt = table1_fault_space(&executor, 7);
+    assert_eq!(preset.len(), hunt.len(), "point counts differ");
+    assert_eq!(
+        preset.digest(),
+        hunt.digest(),
+        "the supervisor preset and the bench hunt enumerate different spaces"
+    );
+}

@@ -33,12 +33,14 @@
 
 use std::path::PathBuf;
 
+use crate::control::Lease;
 use crate::engine::{Campaign, CampaignConfig, ExecBackend, Executor};
 use crate::events::EventSink;
 use crate::shard::{ShardOutcome, ShardSpec};
 use crate::space::FaultSpace;
 use crate::state::CampaignState;
 use crate::strategy::{Exhaustive, Strategy};
+use crate::triage::CrashSignature;
 
 /// Fluent configuration of a campaign run; built by
 /// [`Campaign::builder`] and finished by [`CampaignBuilder::build`].
@@ -51,6 +53,8 @@ pub struct CampaignBuilder<'a> {
     config: CampaignConfig,
     strategy: Box<dyn Strategy + 'a>,
     shard: ShardSpec,
+    lease: Option<Lease>,
+    known_signatures: Vec<CrashSignature>,
     sink: Option<&'a dyn EventSink>,
     checkpoint: Option<PathBuf>,
 }
@@ -63,6 +67,8 @@ impl<'a> CampaignBuilder<'a> {
             config: CampaignConfig::default(),
             strategy: Box::new(Exhaustive),
             shard: ShardSpec::FULL,
+            lease: None,
+            known_signatures: Vec::new(),
             sink: None,
             checkpoint: None,
         }
@@ -135,6 +141,33 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// Run only one leased contiguous fault-point range (default: none —
+    /// the whole shard). This is the supervisor's scheduling quantum,
+    /// much finer than a shard: the checkpoint tag becomes
+    /// `fingerprint@plan-hash%start..end`, keyed by the *range*, so a
+    /// lease reassigned to another worker resumes the previous worker's
+    /// checkpoint. Composes with [`CampaignBuilder::shard`] (supervised
+    /// workers normally keep the full shard and confine by lease alone).
+    pub fn lease(mut self, lease: Lease) -> Self {
+        self.lease = Some(lease);
+        self
+    }
+
+    /// Seed the run with crash signatures first observed elsewhere in a
+    /// supervised campaign (default: none). Adaptive strategies escalate
+    /// the signatures' caller neighborhoods exactly as if the crash had
+    /// been observed locally, and the signatures are not re-announced as
+    /// [`CampaignEvent::CrashFound`](crate::events::CampaignEvent::
+    /// CrashFound) events. Results never change for schedules whose
+    /// covered unit set does not depend on observed history.
+    pub fn known_signatures(
+        mut self,
+        signatures: impl IntoIterator<Item = CrashSignature>,
+    ) -> Self {
+        self.known_signatures.extend(signatures);
+        self
+    }
+
     /// Stream [`CampaignEvent`](crate::events::CampaignEvent)s into `sink`
     /// while the campaign runs (default: no events).
     pub fn events(mut self, sink: &'a dyn EventSink) -> Self {
@@ -163,10 +196,15 @@ impl<'a> CampaignBuilder<'a> {
         if let Err(err) = self.shard.validate() {
             panic!("invalid campaign shard: {err}");
         }
+        if let Some(Err(err)) = self.lease.map(|lease| lease.validate()) {
+            panic!("invalid campaign lease: {err}");
+        }
         CampaignDriver {
             campaign: Campaign::new(self.space, self.executor, self.config),
             strategy: self.strategy,
             shard: self.shard,
+            lease: self.lease,
+            known_signatures: self.known_signatures,
             sink: self.sink,
             checkpoint: self.checkpoint,
         }
@@ -181,6 +219,8 @@ pub struct CampaignDriver<'a> {
     campaign: Campaign<'a>,
     strategy: Box<dyn Strategy + 'a>,
     shard: ShardSpec,
+    lease: Option<Lease>,
+    known_signatures: Vec<CrashSignature>,
     sink: Option<&'a dyn EventSink>,
     checkpoint: Option<PathBuf>,
 }
@@ -195,6 +235,11 @@ impl<'a> CampaignDriver<'a> {
     /// Which slice of the space this driver runs.
     pub fn shard(&self) -> ShardSpec {
         self.shard
+    }
+
+    /// The leased fault-point range this driver is confined to, if any.
+    pub fn lease(&self) -> Option<Lease> {
+        self.lease
     }
 
     /// Canonical work units owned by this driver's shard.
@@ -246,6 +291,8 @@ impl<'a> CampaignDriver<'a> {
             self.strategy.as_ref(),
             state,
             self.shard,
+            self.lease,
+            &self.known_signatures,
             self.sink,
             self.checkpoint.as_deref(),
         )
@@ -534,6 +581,155 @@ mod tests {
             "resume announces no already-known signatures"
         );
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leases_partition_the_run_and_merge_back_to_the_unsharded_report() {
+        let executor = FakeExecutor::new();
+        let unsharded = Campaign::builder(demo_space(7), &executor)
+            .jobs(2)
+            .build()
+            .run_to_completion();
+
+        // Three uneven leases tiling the 7 points: separate executors,
+        // like separate worker processes sharing nothing.
+        let ranges = [(0usize, 3usize), (3, 5), (5, 7)];
+        let mut outcomes = Vec::new();
+        for (id, (start, end)) in ranges.into_iter().enumerate() {
+            let executor = FakeExecutor::new();
+            let driver = Campaign::builder(demo_space(7), &executor)
+                .jobs(2)
+                .lease(Lease {
+                    id: id as u64,
+                    start,
+                    end,
+                })
+                .build();
+            let mut state = CampaignState::default();
+            let live = driver.run_with_state(&mut state);
+            assert!(
+                live.tag.ends_with(&format!("%{start}..{end}")),
+                "lease tag keyed by range: {}",
+                live.tag
+            );
+            assert_eq!(
+                live.report.executed_now,
+                (end - start) * 2,
+                "lease {start}..{end} runs exactly its own units"
+            );
+            // The cross-process handoff: state → JSON → LeaseOutcome.
+            let parsed = CampaignState::from_json(&state.to_json()).unwrap();
+            outcomes.push(crate::control::LeaseOutcome::from_state(&parsed).unwrap());
+        }
+        let merged = CampaignReport::merge_leases(outcomes, 7).unwrap();
+        assert_eq!(merged.records, unsharded.report.records);
+        assert_eq!(merged.triage, unsharded.report.triage);
+    }
+
+    #[test]
+    fn a_reassigned_lease_resumes_the_dead_workers_checkpoint() {
+        let lease_range = Lease {
+            id: 1,
+            start: 2,
+            end: 5,
+        };
+        let executor = FakeExecutor::new();
+        let mut state = CampaignState::default();
+        let first = Campaign::builder(demo_space(7), &executor)
+            .lease(lease_range)
+            .build()
+            .run_with_state(&mut state);
+        assert_eq!(
+            first.report.executed_now, 6,
+            "3 leased points x 2 workloads"
+        );
+
+        // The supervisor reassigns the range under a fresh grant id (a
+        // different worker process: fresh executor). Checkpoint identity
+        // is the range, so nothing re-executes.
+        let replacement = FakeExecutor::new();
+        let reassigned = Campaign::builder(demo_space(7), &replacement)
+            .lease(Lease {
+                id: 42,
+                ..lease_range
+            })
+            .build()
+            .run_with_state(&mut state);
+        assert_eq!(
+            reassigned.report.executed_now, 0,
+            "reassigned lease adopts the previous worker's records"
+        );
+        assert_eq!(reassigned.report.records, first.report.records);
+        assert_eq!(replacement.executions.load(Ordering::Relaxed), 0);
+
+        // A *different* range must not adopt them.
+        let other = FakeExecutor::new();
+        let disjoint = Campaign::builder(demo_space(7), &other)
+            .lease(Lease {
+                id: 43,
+                start: 5,
+                end: 7,
+            })
+            .build()
+            .run_with_state(&mut state);
+        assert_eq!(disjoint.report.executed_now, 4, "new range starts fresh");
+    }
+
+    #[test]
+    fn broadcast_signatures_steer_without_changing_records_or_re_announcing() {
+        // Baseline: no hints.
+        let executor = FakeExecutor::new();
+        let baseline = Campaign::builder(demo_space(6), &executor)
+            .build()
+            .run_to_completion();
+
+        // Seed one of the signatures the run itself will find (offset 0
+        // crashes at 100) plus a foreign one it never will.
+        let known = vec![
+            crate::triage::CrashSignature {
+                target: "demo".into(),
+                function: "read".into(),
+                module: "demo".into(),
+                offset: 100,
+                frame: Some("victim".into()),
+            },
+            crate::triage::CrashSignature {
+                target: "other".into(),
+                function: "write".into(),
+                module: "other".into(),
+                offset: 999,
+                frame: None,
+            },
+        ];
+        let seeded_executor = FakeExecutor::new();
+        let log = EventLog::new();
+        let seeded = Campaign::builder(demo_space(6), &seeded_executor)
+            .known_signatures(known)
+            .events(&log)
+            .build()
+            .run_to_completion();
+        assert_eq!(
+            seeded.report.records, baseline.report.records,
+            "hints must never change results"
+        );
+        assert_eq!(
+            log.count(|e| matches!(e, CampaignEvent::CrashFound(_))),
+            baseline.report.triage.distinct_crashes() - 1,
+            "the pre-seeded signature is not re-announced"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid campaign lease")]
+    fn building_with_an_empty_lease_panics() {
+        let executor = FakeExecutor::new();
+        let _ = Campaign::builder(demo_space(3), &executor)
+            .lease(Lease {
+                id: 0,
+                start: 2,
+                end: 2,
+            })
+            .build();
     }
 
     #[test]

@@ -70,6 +70,7 @@ use lfi_core::Scenario;
 use lfi_telemetry::Telemetry;
 
 use crate::builder::CampaignBuilder;
+use crate::control::Lease;
 use crate::events::{CampaignEvent, EventSink};
 use crate::history::CampaignHistory;
 use crate::shard::{ShardOutcome, ShardSpec};
@@ -724,6 +725,15 @@ impl<'a> Campaign<'a> {
             .sum()
     }
 
+    /// Number of canonical work units covered by `lease`'s point range
+    /// (clamped to the space). Leases that tile the space partition
+    /// [`Campaign::total_units`] exactly, like shards do.
+    pub fn lease_units(&self, lease: Lease) -> usize {
+        (lease.start..lease.end.min(self.space.len()))
+            .map(|point| self.point_units(point))
+            .sum()
+    }
+
     /// Workload-suite size of one fault point (units between its base and
     /// the next point's).
     fn point_units(&self, point: usize) -> usize {
@@ -883,43 +893,72 @@ impl<'a> Campaign<'a> {
     /// repeatedly request a batch from the strategy, execute its units that
     /// `state` has not already completed, feed the results back through the
     /// history, and stop when the strategy has nothing new to schedule.
-    /// Fault points outside `shard` are pre-marked dispatched, confining
-    /// any strategy's schedule to the shard's round-robin slice. Progress
-    /// streams through `sink`, and `checkpoint` (when set) persists the
-    /// state after every batch.
+    /// Fault points outside `shard` (and outside `lease`, when one is
+    /// set) are pre-marked dispatched, confining any strategy's schedule
+    /// to the run's slice. Progress streams through `sink`, and
+    /// `checkpoint` (when set) persists the state after every batch.
+    /// `known_signatures` seeds the run with crash signatures first seen
+    /// elsewhere (a supervisor's broadcasts): adaptive strategies
+    /// escalate around them, and they are not re-announced as
+    /// `CrashFound` events.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run_driven(
         &self,
         strategy: &dyn Strategy,
         state: &mut CampaignState,
         shard: ShardSpec,
+        lease: Option<Lease>,
+        known_signatures: &[CrashSignature],
         sink: Option<&dyn EventSink>,
         checkpoint: Option<&Path>,
     ) -> ShardOutcome {
         // The state tag covers the strategy's scheduling identity, the plan
         // (point identity incl. annotations + workload suites), AND the
-        // shard: unit ids are indices into this exact expansion and the
-        // record set is one shard's slice of it, so a resume against
-        // anything else — including the same plan under a different shard —
-        // must start fresh.
-        let tag = format!(
-            "{}@{:016x}#{}",
-            strategy.fingerprint(),
-            self.plan_hash(),
-            shard
-        );
+        // run's slice: unit ids are indices into this exact expansion and
+        // the record set is one slice of it, so a resume against anything
+        // else — including the same plan under a different shard or lease
+        // range — must start fresh. Lease identity is the *range* (not the
+        // grant id): a reassigned lease adopts the previous worker's
+        // checkpoint and re-executes only unfinished work.
+        let tag = match lease {
+            Some(lease) => format!(
+                "{}@{:016x}%{}..{}",
+                strategy.fingerprint(),
+                self.plan_hash(),
+                lease.start,
+                lease.end
+            ),
+            None => format!(
+                "{}@{:016x}#{}",
+                strategy.fingerprint(),
+                self.plan_hash(),
+                shard
+            ),
+        };
         state.adopt(&tag, self.config.seed);
 
         let mut history = CampaignHistory::new(self.unit_base.clone(), self.total_units);
-        // Points owned by other shards are excluded up front: strategies
-        // see them as already dispatched and schedule around them, so the
-        // engine never has to second-guess a batch (a strategy that emits
-        // one point at a time still terminates correctly).
+        // Points owned by other shards (or outside the lease range) are
+        // excluded up front: strategies see them as already dispatched and
+        // schedule around them, so the engine never has to second-guess a
+        // batch (a strategy that emits one point at a time still
+        // terminates correctly).
         for point in 0..self.space.len() {
-            if !shard.owns_point(point) {
+            let owned =
+                shard.owns_point(point) && lease.is_none_or(|lease| lease.owns_point(point));
+            if !owned {
                 history.exclude_point(point);
             }
         }
         let seen_signatures: Mutex<BTreeSet<CrashSignature>> = Mutex::new(BTreeSet::new());
+        // Broadcast signatures steer scheduling (via the history's hint
+        // set) and suppress duplicate announcements, but never contribute
+        // records — merged results stay byte-identical to a run without
+        // them for history-independent schedules.
+        for signature in known_signatures {
+            history.add_signature_hint(signature.clone());
+            seen_signatures.lock().unwrap().insert(signature.clone());
+        }
         for record in state.records() {
             seen_signatures
                 .lock()
@@ -1058,7 +1097,7 @@ impl<'a> Campaign<'a> {
                 .strategy(...).build().run_with_state(&mut state)"
     )]
     pub fn run(&self, strategy: &dyn Strategy, state: &mut CampaignState) -> CampaignReport {
-        self.run_driven(strategy, state, ShardSpec::FULL, None, None)
+        self.run_driven(strategy, state, ShardSpec::FULL, None, &[], None, None)
             .report
     }
 }

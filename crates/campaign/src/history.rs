@@ -14,6 +14,7 @@
 //! its fault-point index.
 
 use crate::engine::RunRecord;
+use crate::triage::CrashSignature;
 
 /// The observable state of a campaign run: completed records, the canonical
 /// unit layout, and which fault points have been dispatched so far.
@@ -25,6 +26,10 @@ pub struct CampaignHistory {
     total_units: usize,
     /// Every completed record, resumed ones included, in completion order.
     records: Vec<RunRecord>,
+    /// Crash signatures first observed *outside* this run (a supervisor's
+    /// broadcasts from sibling workers): scheduling hints with no local
+    /// record behind them.
+    signature_hints: Vec<CrashSignature>,
     /// Whether each fault point has been dispatched this run.
     dispatched: Vec<bool>,
     dispatched_points: usize,
@@ -39,6 +44,7 @@ impl CampaignHistory {
             unit_base,
             total_units,
             records: Vec::new(),
+            signature_hints: Vec::new(),
             dispatched: vec![false; points],
             dispatched_points: 0,
             planned_units: 0,
@@ -56,6 +62,20 @@ impl CampaignHistory {
     /// Every completed record so far, resumed ones included.
     pub fn records(&self) -> &[RunRecord] {
         &self.records
+    }
+
+    /// Crash signatures first seen elsewhere in a supervised campaign
+    /// (broadcast by the supervisor) — scheduling signals adaptive
+    /// strategies fold into their escalation sets alongside locally
+    /// observed crashes. Empty for unsupervised runs.
+    pub fn signature_hints(&self) -> &[CrashSignature] {
+        &self.signature_hints
+    }
+
+    /// Record one broadcast signature hint. Hints never contribute
+    /// records; they only steer scheduling.
+    pub(crate) fn add_signature_hint(&mut self, signature: CrashSignature) {
+        self.signature_hints.push(signature);
     }
 
     /// Number of non-empty batches dispatched so far this run.

@@ -41,6 +41,13 @@
 //!   the checkpoint tag), and [`CampaignReport::merge`] recombines the
 //!   per-shard [`ShardOutcome`]s into a report record- and
 //!   triage-identical to the unsharded run;
+//! * [`control`] — the supervisor control plane: unit-range [`Lease`]s
+//!   (a contiguous fault-point slice, finer than a shard, with
+//!   range-keyed checkpoint tags so a reassigned lease resumes the dead
+//!   worker's progress), typed [`ControlMessage`]s with the same total
+//!   JSONL wire codec as events, and
+//!   [`CampaignReport::merge_leases`] recombining lease outcomes that
+//!   tile the space;
 //! * [`events`] — typed [`CampaignEvent`]s streamed through an
 //!   [`EventSink`] while the campaign runs, for progress bars, bench
 //!   harnesses, and cross-machine supervisors; every event has a total
@@ -69,6 +76,7 @@
 
 pub mod adaptive;
 pub mod builder;
+pub mod control;
 pub mod engine;
 pub mod events;
 pub mod history;
@@ -81,6 +89,7 @@ pub mod triage;
 
 pub use adaptive::CoverageAdaptive;
 pub use builder::{CampaignBuilder, CampaignDriver};
+pub use control::{ControlMessage, Lease, LeaseError, LeaseMergeError, LeaseOutcome};
 pub use engine::{
     derive_seed, Campaign, CampaignConfig, CrashInfo, ExecBackend, Execution, Executor,
     InjectedSite, OutcomeKind, ParseBackendError, PrefetchKey, RunRecord, Session, WorkUnit,

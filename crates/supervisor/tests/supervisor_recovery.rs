@@ -1,0 +1,149 @@
+//! The supervised-campaign fault-tolerance differential, end to end
+//! with real worker processes: SIGKILL a worker mid-lease and the
+//! merged report must still be **byte-identical** to the unsharded
+//! in-process run — no lost units, no duplicate records, and
+//! re-execution bounded by the leases that were actually in flight on
+//! the dead worker.
+
+use std::fs;
+use std::path::PathBuf;
+
+use lfi_campaign::{Campaign, Exhaustive, StandardExecutor};
+use lfi_supervisor::supervisor::{run_supervised, SupervisorOptions};
+use lfi_supervisor::SpaceSpec;
+
+/// The Table 1 git-lite slice (same space as the campaign crate's shard
+/// differential): opendir (readdir-null crash), setenv (silent data
+/// loss), readlink (checked site).
+fn git_spec() -> SpaceSpec {
+    SpaceSpec {
+        targets: vec!["git-lite".to_string()],
+        retain: vec![(
+            "git-lite".to_string(),
+            vec![
+                "opendir".to_string(),
+                "setenv".to_string(),
+                "readlink".to_string(),
+            ],
+        )],
+        baseline_seed: 7,
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lfi_supervisor_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn a_killed_worker_does_not_change_the_merged_report() {
+    // The ground truth: the same spec, unsharded, in-process.
+    let spec = git_spec();
+    let executor = StandardExecutor::new(&spec.target_names());
+    let space = spec.build(&executor);
+    assert!(!space.is_empty());
+    let unsharded = Campaign::builder(space, &executor)
+        .strategy(Exhaustive)
+        .jobs(2)
+        .seed(7)
+        .build()
+        .run_to_completion();
+    assert!(
+        unsharded.report.triage.distinct_crashes() > 0,
+        "the git-lite slice must produce crashes for the broadcast path to exercise"
+    );
+
+    // The supervised run: two workers, small leases, and the chaos hook
+    // SIGKILLs one busy worker after three units.
+    let state_dir = scratch_dir("recovery");
+    let mut options = SupervisorOptions::new(spec, &state_dir);
+    options.workers = 2;
+    options.jobs = 1;
+    options.lease_points = 2;
+    options.seed = 7;
+    options.chaos_kill_after_units = Some(3);
+    options.worker_bin = PathBuf::from(env!("CARGO_BIN_EXE_campaign_worker"));
+    let outcome = run_supervised(&options).unwrap_or_else(|err| panic!("supervised run: {err}"));
+
+    // The recovery happened: the chaos kill cost at least one restart
+    // and expired at least one lease.
+    assert!(
+        outcome.worker_restarts >= 1,
+        "the chaos hook must have killed (and the supervisor restarted) a worker"
+    );
+    assert!(outcome.leases_expired >= 1, "the dead worker held leases");
+    assert!(
+        outcome.killed_in_flight_units > 0,
+        "the killed worker had a lease in flight"
+    );
+
+    // The differential: records and triage byte-for-byte, nothing lost.
+    assert_eq!(
+        outcome.report.records, unsharded.report.records,
+        "merged records differ from the unsharded run"
+    );
+    assert_eq!(
+        outcome.report.triage, unsharded.report.triage,
+        "merged triage differs from the unsharded run"
+    );
+    assert_eq!(
+        outcome.report.records.len(),
+        outcome.total_units,
+        "exhaustive coverage lost units"
+    );
+
+    // Fault tolerance is not free re-execution: duplicated work is
+    // bounded by the units of the leases in flight at the kill.
+    assert!(
+        outcome.re_executed_units <= outcome.killed_in_flight_units,
+        "re-executed {} units but only {} were in flight on dead workers",
+        outcome.re_executed_units,
+        outcome.killed_in_flight_units
+    );
+
+    // The live view agrees with the ground truth.
+    assert_eq!(
+        outcome.distinct_signatures,
+        unsharded.report.triage.distinct_crashes(),
+        "live first-seen signatures diverge from the merged triage"
+    );
+
+    let _ = fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn a_clean_supervised_run_matches_the_unsharded_report_too() {
+    // No chaos: the plain distributed path (leases, pipelining,
+    // possibly stealing) must also merge back exactly.
+    let spec = git_spec();
+    let executor = StandardExecutor::new(&spec.target_names());
+    let space = spec.build(&executor);
+    let unsharded = Campaign::builder(space, &executor)
+        .strategy(Exhaustive)
+        .jobs(2)
+        .seed(7)
+        .build()
+        .run_to_completion();
+
+    let state_dir = scratch_dir("clean");
+    let mut options = SupervisorOptions::new(spec, &state_dir);
+    options.workers = 2;
+    options.jobs = 1;
+    options.lease_points = 3;
+    options.seed = 7;
+    options.worker_bin = PathBuf::from(env!("CARGO_BIN_EXE_campaign_worker"));
+    let outcome = run_supervised(&options).unwrap_or_else(|err| panic!("supervised run: {err}"));
+
+    assert_eq!(outcome.report.records, unsharded.report.records);
+    assert_eq!(outcome.report.triage, unsharded.report.triage);
+    assert_eq!(outcome.worker_restarts, 0);
+    assert_eq!(
+        outcome.re_executed_units, 0,
+        "nothing died, nothing re-runs"
+    );
+    assert_eq!(outcome.killed_in_flight_units, 0);
+
+    let _ = fs::remove_dir_all(&state_dir);
+}

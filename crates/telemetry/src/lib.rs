@@ -22,6 +22,11 @@
 //!   registered metric, serializable to and from JSON via `lfi_json`.
 //!   This is what campaign reports embed, heartbeat events carry over
 //!   the wire, and bench artifacts persist.
+//! * [`stream`] — line-framed JSONL readers ([`LineFramer`],
+//!   [`JsonlTail`]) shared by every consumer that tails an event or
+//!   protocol stream: partial-line buffering for pipe readers, and
+//!   truncation/rotation-tolerant file tailing for the live-status and
+//!   supervisor bins.
 //! * [`Telemetry::note`] — a bounded out-of-band channel for rare,
 //!   discrete observations (e.g. a discarded concurrent tree-deepening)
 //!   that lower layers cannot stream through an event sink themselves;
@@ -39,6 +44,8 @@
 
 mod metrics;
 mod snapshot;
+pub mod stream;
 
 pub use metrics::{Counter, Gauge, Histogram, Note, Span, Telemetry};
 pub use snapshot::{bucket_floor, HistogramSnapshot, MetricsSnapshot};
+pub use stream::{JsonlTail, LineFramer, TailPoll};

@@ -19,6 +19,12 @@
 //!   interrupted sweeps from JSON state tagged with the full plan identity,
 //!   shard one campaign across processes/machines with byte-identical
 //!   mergeable results, and stream typed progress events while it runs;
+//! * [`supervisor`](lfi_supervisor) — the distributed control plane on top of
+//!   the campaign layer: spawn elastic worker processes, lease them unit
+//!   ranges, monitor heartbeats, migrate leases off dead or hung workers
+//!   (restarting them from per-lease checkpoints), steal queued leases for
+//!   idle workers, and broadcast first-seen crash signatures so every
+//!   shard's adaptive strategy learns globally;
 //! * the substrate: [`arch`](lfi_arch), [`obj`](lfi_obj), [`asm`](lfi_asm),
 //!   [`cc`](lfi_cc), [`vm`](lfi_vm), [`libc`](lfi_libc);
 //! * [`targets`](lfi_targets) — the BIND/MySQL/Git/PBFT/Apache analogues with
@@ -68,6 +74,7 @@ pub use lfi_core as core;
 pub use lfi_libc as libc;
 pub use lfi_obj as obj;
 pub use lfi_profiler as profiler;
+pub use lfi_supervisor as supervisor;
 pub use lfi_targets as targets;
 pub use lfi_telemetry as telemetry;
 pub use lfi_vm as vm;
@@ -87,5 +94,8 @@ pub mod prelude {
         TestConfig, TestOutcome, Trigger, TriggerCtx, TriggerDecl, TriggerRegistry, Workload,
     };
     pub use lfi_profiler::{profile_library, FaultProfile};
+    pub use lfi_supervisor::{
+        run_supervised, SpaceSpec, SupervisedOutcome, SupervisorOptions, WorkerMessage,
+    };
     pub use lfi_vm::{HookAction, Machine, MachineSnapshot, NetHandle, RunExit};
 }
